@@ -1,0 +1,96 @@
+// Command fleetbench regenerates every measured table and figure of the
+// FleetIO paper (§2.2 and §4) on the simulated platform.
+//
+// Usage:
+//
+//	fleetbench [-fig all|2|3|6|10|14|15|16|17|overhead] [-seconds N] [-model file]
+//
+// Figures 10–13 share one set of runs and are printed together.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/nn"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fleetbench: ")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 2, 3, 6, 10, 14, 15, 16, 17, overhead")
+	seconds := flag.Float64("seconds", 8, "measured virtual seconds per run")
+	warmup := flag.Float64("warmup", 4, "virtual warmup seconds per run")
+	windowMs := flag.Int("window", 250, "decision window in milliseconds")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	model := flag.String("model", "", "pretrained model file (from fleettrain); pretrains in-process when empty")
+	flag.Parse()
+
+	if *model != "" {
+		net, err := nn.LoadFile(*model)
+		if err != nil {
+			log.Fatalf("loading model: %v", err)
+		}
+		harness.SetInjectedModel(net)
+		log.Printf("loaded pretrained model %s (%d params)", *model, net.NumParams())
+	}
+
+	opt := harness.DefaultOptions()
+	opt.Seed = *seed
+	opt.Duration = sim.Time(*seconds * 1e9)
+	opt.Warmup = sim.Time(*warmup * 1e9)
+	opt.Window = sim.Time(*windowMs) * sim.Millisecond
+	opt = harness.WithPretrained(opt)
+
+	w := os.Stdout
+	needGrid := func() map[string][]harness.Result {
+		log.Printf("running %d pairs x %d policies (this simulates %d experiments)...",
+			len(harness.EvalPairs()), len(harness.AllPolicies()),
+			len(harness.EvalPairs())*(len(harness.AllPolicies())+1))
+		return harness.PairGrid(harness.AllPolicies(), opt)
+	}
+
+	switch *fig {
+	case "all":
+		grid := needGrid()
+		harness.Figure2(w, grid)
+		harness.Figure3(w, grid)
+		harness.Figure6(w)
+		harness.Figures10to13(w, grid)
+		harness.Figure14(w, opt)
+		harness.Figure15(w, opt)
+		harness.Figure16(w, opt)
+		harness.Figure17(w, opt)
+		harness.Overheads(w)
+	case "2", "3":
+		grid := harness.PairGrid([]harness.PolicyKind{harness.PolHardware, harness.PolSoftware}, opt)
+		if *fig == "2" {
+			harness.Figure2(w, grid)
+		} else {
+			harness.Figure3(w, grid)
+		}
+	case "6":
+		harness.Figure6(w)
+	case "10", "11", "12", "13":
+		grid := needGrid()
+		harness.Figures10to13(w, grid)
+	case "14":
+		harness.Figure14(w, opt)
+	case "15":
+		harness.Figure15(w, opt)
+	case "16":
+		harness.Figure16(w, opt)
+	case "17":
+		harness.Figure17(w, opt)
+	case "overhead":
+		harness.Overheads(w)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,45 @@
+// Command fleetcluster reproduces Figure 6: it synthesizes traces for the
+// nine cloud workloads, extracts the §3.4 features per 10K-request window,
+// clusters them with k-means, and prints the PCA projection, cluster
+// membership, and test accuracy.
+//
+// Usage:
+//
+//	fleetcluster [-windows N] [-per-window REQS]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	windows := flag.Int("windows", 8, "trace windows per workload")
+	perWindow := flag.Int("per-window", 2000, "requests per window (paper: 10000)")
+	verbose := flag.Bool("v", false, "print every window's PCA point")
+	flag.Parse()
+
+	harness.Figure6(os.Stdout)
+
+	if *verbose {
+		ds := cluster.BuildDataset(workload.Names(), *windows, *perWindow, 16<<10, 42)
+		raw := make([][]float64, len(ds.Samples))
+		for i, s := range ds.Samples {
+			raw[i] = s.Features
+		}
+		scaled, _, _ := cluster.Standardize(raw)
+		proj, _ := cluster.PCA2(scaled, sim.NewRNG(5))
+		fmt.Println("per-window PCA points:")
+		for i, p := range proj {
+			fmt.Printf("%-16s %8.3f %8.3f\n", ds.Samples[i].Workload, p[0], p[1])
+		}
+	}
+}

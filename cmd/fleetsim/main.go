@@ -1,0 +1,60 @@
+// Command fleetsim runs a single collocation experiment and prints the
+// per-tenant outcome — the quickest way to poke at the simulator.
+//
+// Usage:
+//
+//	fleetsim -mix YCSB,TeraSort -policy fleetio -seconds 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fleetsim: ")
+	mixFlag := flag.String("mix", "YCSB,TeraSort", "comma-separated workload names")
+	policy := flag.String("policy", "fleetio", "hardware | software | adaptive | ssdkeeper | fleetio")
+	seconds := flag.Float64("seconds", 8, "measured virtual seconds")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	kinds := map[string]harness.PolicyKind{
+		"hardware":  harness.PolHardware,
+		"software":  harness.PolSoftware,
+		"adaptive":  harness.PolAdaptive,
+		"ssdkeeper": harness.PolSSDKeeper,
+		"fleetio":   harness.PolFleetIO,
+	}
+	kind, ok := kinds[strings.ToLower(*policy)]
+	if !ok {
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	names := strings.Split(*mixFlag, ",")
+	mix := harness.MixSpec{Label: *mixFlag, Workloads: names}
+	opt := harness.DefaultOptions()
+	opt.Seed = *seed
+	opt.Duration = sim.Time(*seconds * 1e9)
+	if kind == harness.PolFleetIO {
+		opt = harness.WithPretrained(opt)
+	}
+	log.Printf("calibrating SLOs (hardware-isolated run)...")
+	slos := harness.Calibrate(mix, opt)
+	log.Printf("running %s on %s...", kind, *mixFlag)
+	res := harness.RunOne(mix, kind, slos, opt)
+
+	fmt.Printf("policy: %s   SSD utilization: %.1f%% (p95 %.1f%%)\n", res.Policy, res.AvgUtil*100, res.P95Util*100)
+	fmt.Printf("%-16s %-22s %12s %10s %10s %10s %10s\n",
+		"workload", "class", "BW MB/s", "mean ms", "P95 ms", "P99 ms", "SLO vio")
+	for _, t := range res.Tenants {
+		fmt.Printf("%-16s %-22s %12.1f %10.2f %10.2f %10.2f %9.2f%%\n",
+			t.Workload, t.Class.String(), t.BandwidthMBps, t.MeanMs, t.P95Ms, t.P99Ms, t.VioRate*100)
+	}
+}

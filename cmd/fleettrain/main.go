@@ -1,0 +1,43 @@
+// Command fleettrain pretrains the FleetIO PPO model offline on the
+// held-out workloads (§3.8) and writes it to a file for fleetbench and the
+// examples to load.
+//
+// Usage:
+//
+//	fleettrain [-episodes N] [-episode-seconds S] [-out model.gob]
+package main
+
+import (
+	"flag"
+	"log"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fleettrain: ")
+	episodes := flag.Int("episodes", 12, "pretraining episodes")
+	epSeconds := flag.Float64("episode-seconds", 30, "virtual seconds per episode")
+	windowMs := flag.Int("window", 100, "decision window in milliseconds")
+	lr := flag.Float64("lr", 1e-3, "pretraining learning rate")
+	seed := flag.Int64("seed", 11, "seed")
+	out := flag.String("out", "fleetio_model.gob", "output model file")
+	flag.Parse()
+
+	pc := harness.PretrainConfig{
+		Seed:            *seed,
+		Episodes:        *episodes,
+		EpisodeDuration: sim.Time(*epSeconds * 1e9),
+		Window:          sim.Time(*windowMs) * sim.Millisecond,
+		LR:              *lr,
+	}
+	log.Printf("pretraining %d episodes x %.0fs virtual on held-out workloads...", pc.Episodes, *epSeconds)
+	net := harness.Pretrain(pc)
+	if err := net.SaveFile(*out); err != nil {
+		log.Fatalf("saving model: %v", err)
+	}
+	data, _ := net.Encode()
+	log.Printf("wrote %s (%d params, %d bytes)", *out, net.NumParams(), len(data))
+}

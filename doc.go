@@ -1,0 +1,44 @@
+// Package fleetio is an open-source reproduction of "FleetIO: Managing
+// Multi-Tenant Cloud Storage with Multi-Agent Reinforcement Learning"
+// (ASPLOS 2025). It provides, in pure Go with no dependencies outside the
+// standard library:
+//
+//   - a discrete-event open-channel SSD simulator (channels, chips, NAND
+//     timing, per-channel queues) standing in for the paper's programmable
+//     SSD board;
+//   - a full FTL with out-of-place updates, striped write allocation, and
+//     lazy greedy garbage collection that prioritizes harvested blocks;
+//   - the ghost superblock (gSB) abstraction with a lock-free pool,
+//     admission control for RL actions, and the vSSD virtualization layer
+//     (hardware/software isolation, token buckets, stride scheduling,
+//     priority scheduling);
+//   - a from-scratch PPO implementation (multi-discrete actor-critic,
+//     GAE, Adam) and the FleetIO multi-agent policy: Table 1 states,
+//     Table 2 actions, the Eq. 1/Eq. 2 rewards, and §3.4 workload-type
+//     reward fine-tuning via k-means clustering;
+//   - synthetic generators for the paper's nine cloud workloads and an
+//     experiment harness that regenerates every measured figure.
+//
+// # Quick start
+//
+//	import fleetio "repro"
+//
+//	sim := fleetio.NewSimulator(fleetio.DefaultSimConfig())
+//	ls := sim.AddTenant("ycsb", fleetio.TenantConfig{Workload: "YCSB", Channels: fleetio.ChannelRange(0, 8)})
+//	bi := sim.AddTenant("sort", fleetio.TenantConfig{Workload: "TeraSort", Channels: fleetio.ChannelRange(8, 16)})
+//	sim.UseFleetIO(fleetio.FleetIOOptions{})
+//	report := sim.Run(10 * fleetio.Second)
+//	fmt.Println(report)
+//	_ = ls
+//	_ = bi
+//
+// # Reproducing the paper
+//
+// cmd/fleetbench regenerates every figure; cmd/fleettrain pretrains the
+// PPO model; cmd/fleetcluster reproduces the workload clustering; and
+// cmd/fleetsim runs one collocation interactively. bench_test.go holds a
+// testing.B benchmark per figure plus the §4.7 overhead microbenchmarks.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// paper-vs-reproduction numbers.
+package fleetio

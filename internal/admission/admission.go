@@ -1,0 +1,168 @@
+// Package admission implements FleetIO's admission control for RL actions
+// (§3.5): harvest-related actions are validated against a provider policy,
+// batched (50 ms by default), and reordered so Make_Harvestable executes
+// before Harvest — maximizing the harvestable supply and avoiding
+// immediate reclamation. Under contention, Harvest actions are served
+// first-come-first-served with vSSDs holding fewer harvested resources
+// given priority.
+package admission
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/vssd"
+)
+
+// Policy is the cloud provider's permission check for harvest actions.
+// Implementations can forbid high-priority VMs from lending resources or
+// spot VMs from harvesting.
+type Policy interface {
+	// AllowHarvest reports whether the vSSD may execute Harvest actions.
+	AllowHarvest(vssdID int) bool
+	// AllowMakeHarvestable reports whether the vSSD may lend resources.
+	AllowMakeHarvestable(vssdID int) bool
+}
+
+// AllowAll permits everything (the default).
+type AllowAll struct{}
+
+// AllowHarvest always returns true.
+func (AllowAll) AllowHarvest(int) bool { return true }
+
+// AllowMakeHarvestable always returns true.
+func (AllowAll) AllowMakeHarvestable(int) bool { return true }
+
+// DenyList forbids specific vSSDs from harvesting and/or lending.
+type DenyList struct {
+	NoHarvest map[int]bool
+	NoLend    map[int]bool
+}
+
+// AllowHarvest reports whether the vSSD is absent from the harvest deny list.
+func (d DenyList) AllowHarvest(id int) bool { return !d.NoHarvest[id] }
+
+// AllowMakeHarvestable reports whether the vSSD is absent from the lend deny list.
+func (d DenyList) AllowMakeHarvestable(id int) bool { return !d.NoLend[id] }
+
+// Stats counts controller activity.
+type Stats struct {
+	Batches   int64
+	Admitted  int64
+	Filtered  int64
+	Immediate int64
+}
+
+// Controller batches and orders actions before the platform executes them.
+type Controller struct {
+	plat   *vssd.Platform
+	policy Policy
+
+	// Interval is the batch flush period (the paper uses 50 ms).
+	Interval sim.Time
+
+	batch   []entry
+	arrival int64
+	started bool
+	stats   Stats
+
+	// Reorder enables the Make_Harvestable-first ordering; disabling it is
+	// the §3.5 ablation.
+	Reorder bool
+}
+
+type entry struct {
+	action  vssd.Action
+	arrival int64
+}
+
+// NewController builds a controller with the paper's defaults.
+func NewController(plat *vssd.Platform, policy Policy) *Controller {
+	if policy == nil {
+		policy = AllowAll{}
+	}
+	return &Controller{
+		plat:     plat,
+		policy:   policy,
+		Interval: 50 * sim.Millisecond,
+		Reorder:  true,
+	}
+}
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Pending returns the number of batched, unflushed actions.
+func (c *Controller) Pending() int { return len(c.batch) }
+
+// Start arms the periodic flush on the engine. Safe to call once.
+func (c *Controller) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.plat.Engine().Ticker(c.Interval, func(sim.Time) bool {
+		c.Flush()
+		return true
+	})
+}
+
+// Submit routes an action: harvest-related actions are policy-checked and
+// batched; everything else (Set_Priority, channel/rate changes) applies
+// immediately since it is not subject to admission control.
+func (c *Controller) Submit(a vssd.Action) {
+	switch a.Kind {
+	case vssd.ActHarvest:
+		if !c.policy.AllowHarvest(a.VSSD) {
+			c.stats.Filtered++
+			return
+		}
+	case vssd.ActMakeHarvestable:
+		if !c.policy.AllowMakeHarvestable(a.VSSD) {
+			c.stats.Filtered++
+			return
+		}
+	default:
+		c.stats.Immediate++
+		c.plat.Apply(a)
+		return
+	}
+	c.arrival++
+	c.batch = append(c.batch, entry{action: a, arrival: c.arrival})
+}
+
+// Flush executes the current batch: Make_Harvestable first (supply before
+// demand), then Harvest in FCFS order with least-harvested vSSDs first.
+func (c *Controller) Flush() {
+	if len(c.batch) == 0 {
+		return
+	}
+	batch := c.batch
+	c.batch = nil
+	c.stats.Batches++
+	if c.Reorder {
+		gsbm := c.plat.GSB()
+		sort.SliceStable(batch, func(i, j int) bool {
+			ai, aj := batch[i], batch[j]
+			mi := ai.action.Kind == vssd.ActMakeHarvestable
+			mj := aj.action.Kind == vssd.ActMakeHarvestable
+			if mi != mj {
+				return mi // Make_Harvestable strictly first
+			}
+			if !mi {
+				// Both harvests: fewer already-harvested channels first,
+				// then FCFS.
+				hi := gsbm.HarvestedChannels(ai.action.VSSD)
+				hj := gsbm.HarvestedChannels(aj.action.VSSD)
+				if hi != hj {
+					return hi < hj
+				}
+			}
+			return ai.arrival < aj.arrival
+		})
+	}
+	for _, e := range batch {
+		c.stats.Admitted++
+		c.plat.Apply(e.action)
+	}
+}

@@ -1,0 +1,162 @@
+package admission
+
+import (
+	"testing"
+
+	"repro/internal/ftl"
+	"repro/internal/sim"
+	"repro/internal/vssd"
+)
+
+func testSetup() (*sim.Engine, *vssd.Platform, []*vssd.VSSD) {
+	eng := sim.NewEngine()
+	pc := vssd.DefaultPlatformConfig()
+	pc.Flash.Channels = 4
+	pc.Flash.ChipsPerChannel = 2
+	pc.Flash.BlocksPerChip = 32
+	pc.Flash.PagesPerBlock = 8
+	p := vssd.NewPlatform(eng, pc)
+	a := p.AddVSSD(vssd.Config{Name: "a", Channels: []int{0, 1}})
+	b := p.AddVSSD(vssd.Config{Name: "b", Channels: []int{2, 3}})
+	return eng, p, []*vssd.VSSD{a, b}
+}
+
+func TestImmediateActionsBypassBatch(t *testing.T) {
+	_, p, vs := testSetup()
+	c := NewController(p, nil)
+	c.Submit(vssd.Action{VSSD: 0, Kind: vssd.ActSetPriority, Level: ftl.PriorityHigh})
+	if c.Pending() != 0 {
+		t.Fatal("Set_Priority must not be batched")
+	}
+	if vs[0].Priority() != ftl.PriorityHigh {
+		t.Fatal("Set_Priority not applied immediately")
+	}
+	if c.Stats().Immediate != 1 {
+		t.Fatalf("immediate = %d", c.Stats().Immediate)
+	}
+}
+
+func TestHarvestActionsBatchUntilFlush(t *testing.T) {
+	_, p, _ := testSetup()
+	c := NewController(p, nil)
+	bw := p.FlashConfig().ChannelBandwidth()
+	c.Submit(vssd.Action{VSSD: 0, Kind: vssd.ActMakeHarvestable, BW: bw})
+	if c.Pending() != 1 {
+		t.Fatal("harvest action must batch")
+	}
+	if p.GSB().HarvestableChannels(0) != 0 {
+		t.Fatal("action executed before flush")
+	}
+	c.Flush()
+	if p.GSB().HarvestableChannels(0) != 1 {
+		t.Fatal("flush did not execute the action")
+	}
+	if c.Pending() != 0 {
+		t.Fatal("batch not cleared")
+	}
+}
+
+func TestMakeHarvestableOrderedFirst(t *testing.T) {
+	// Submit Harvest before Make_Harvestable in the same batch: with
+	// reordering the harvest still succeeds because supply lands first.
+	_, p, _ := testSetup()
+	c := NewController(p, nil)
+	bw := p.FlashConfig().ChannelBandwidth()
+	c.Submit(vssd.Action{VSSD: 1, Kind: vssd.ActHarvest, BW: bw})
+	c.Submit(vssd.Action{VSSD: 0, Kind: vssd.ActMakeHarvestable, BW: bw})
+	c.Flush()
+	if got := p.GSB().HarvestedChannels(1); got != 1 {
+		t.Fatalf("harvested = %d; reordering failed", got)
+	}
+}
+
+func TestReorderDisabledAblation(t *testing.T) {
+	_, p, _ := testSetup()
+	c := NewController(p, nil)
+	c.Reorder = false
+	bw := p.FlashConfig().ChannelBandwidth()
+	c.Submit(vssd.Action{VSSD: 1, Kind: vssd.ActHarvest, BW: bw})
+	c.Submit(vssd.Action{VSSD: 0, Kind: vssd.ActMakeHarvestable, BW: bw})
+	c.Flush()
+	if got := p.GSB().HarvestedChannels(1); got != 0 {
+		t.Fatalf("harvested = %d; without reordering the harvest should miss", got)
+	}
+}
+
+func TestPolicyFilters(t *testing.T) {
+	_, p, _ := testSetup()
+	c := NewController(p, DenyList{
+		NoHarvest: map[int]bool{1: true},
+		NoLend:    map[int]bool{0: true},
+	})
+	bw := p.FlashConfig().ChannelBandwidth()
+	c.Submit(vssd.Action{VSSD: 0, Kind: vssd.ActMakeHarvestable, BW: bw})
+	c.Submit(vssd.Action{VSSD: 1, Kind: vssd.ActHarvest, BW: bw})
+	if c.Stats().Filtered != 2 {
+		t.Fatalf("filtered = %d, want 2", c.Stats().Filtered)
+	}
+	c.Flush()
+	if p.GSB().HarvestableChannels(0) != 0 || p.GSB().HarvestedChannels(1) != 0 {
+		t.Fatal("filtered actions executed")
+	}
+}
+
+func TestLeastHarvestedPriorityUnderContention(t *testing.T) {
+	eng := sim.NewEngine()
+	pc := vssd.DefaultPlatformConfig()
+	pc.Flash.Channels = 6
+	pc.Flash.ChipsPerChannel = 2
+	pc.Flash.BlocksPerChip = 32
+	pc.Flash.PagesPerBlock = 8
+	p := vssd.NewPlatform(eng, pc)
+	lender := p.AddVSSD(vssd.Config{Name: "lender", Channels: []int{0, 1, 2}})
+	rich := p.AddVSSD(vssd.Config{Name: "rich", Channels: []int{3, 4}})
+	poor := p.AddVSSD(vssd.Config{Name: "poor", Channels: []int{5}})
+	_ = lender
+	c := NewController(p, nil)
+	bw := p.FlashConfig().ChannelBandwidth()
+	// First, rich harvests one channel.
+	c.Submit(vssd.Action{VSSD: 0, Kind: vssd.ActMakeHarvestable, BW: bw})
+	c.Flush()
+	c.Submit(vssd.Action{VSSD: rich.ID(), Kind: vssd.ActHarvest, BW: bw})
+	c.Flush()
+	if p.GSB().HarvestedChannels(rich.ID()) != 1 {
+		t.Fatal("setup harvest failed")
+	}
+	// Lender raises its total budget to 2 channels (the in-use gSB counts
+	// toward the target), creating one more idle gSB; both harvesters
+	// contend for it, rich submitted first.
+	c.Submit(vssd.Action{VSSD: 0, Kind: vssd.ActMakeHarvestable, BW: 2 * bw})
+	c.Flush()
+	c.Submit(vssd.Action{VSSD: rich.ID(), Kind: vssd.ActHarvest, BW: 2 * bw})
+	c.Submit(vssd.Action{VSSD: poor.ID(), Kind: vssd.ActHarvest, BW: bw})
+	c.Flush()
+	if got := p.GSB().HarvestedChannels(poor.ID()); got != 1 {
+		t.Fatalf("poor harvested %d channels; least-harvested priority failed", got)
+	}
+}
+
+func TestPeriodicFlush(t *testing.T) {
+	eng, p, _ := testSetup()
+	c := NewController(p, nil)
+	c.Start()
+	c.Start() // idempotent
+	bw := p.FlashConfig().ChannelBandwidth()
+	c.Submit(vssd.Action{VSSD: 0, Kind: vssd.ActMakeHarvestable, BW: bw})
+	eng.RunUntil(60 * sim.Millisecond)
+	if p.GSB().HarvestableChannels(0) != 1 {
+		t.Fatal("periodic flush did not run within the 50ms interval")
+	}
+	if c.Stats().Batches != 1 {
+		t.Fatalf("batches = %d", c.Stats().Batches)
+	}
+}
+
+func TestFlushEmptyIsNoop(t *testing.T) {
+	_, p, _ := testSetup()
+	c := NewController(p, nil)
+	c.Flush()
+	if c.Stats().Batches != 0 {
+		t.Fatal("empty flush counted as a batch")
+	}
+}

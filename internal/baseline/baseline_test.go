@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/vssd"
+)
+
+func snapBW(id int, bw float64, dur sim.Time) vssd.WindowSnapshot {
+	var w metrics.Window
+	w.Complete(false, int64(bw*float64(dur)/1e9), 100, 0, 0)
+	return vssd.WindowSnapshot{VSSD: id, Duration: dur, Window: w}
+}
+
+func TestStaticBaselinesNeverAct(t *testing.T) {
+	for _, p := range []interface {
+		Name() string
+		Decide(sim.Time, []vssd.WindowSnapshot) []vssd.Action
+	}{HardwareIsolation(), SoftwareIsolation()} {
+		if acts := p.Decide(0, []vssd.WindowSnapshot{{}}); acts != nil {
+			t.Fatalf("%s acted", p.Name())
+		}
+	}
+	if HardwareIsolation().Name() != "Hardware Isolation" {
+		t.Fatal("name wrong")
+	}
+	if SoftwareIsolation().Name() != "Software Isolation" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestConfigureSoftwareIsolation(t *testing.T) {
+	eng := sim.NewEngine()
+	pc := vssd.DefaultPlatformConfig()
+	pc.Flash.Channels = 4
+	pc.Flash.ChipsPerChannel = 2
+	pc.Flash.BlocksPerChip = 32
+	pc.Flash.PagesPerBlock = 8
+	p := vssd.NewPlatform(eng, pc)
+	all := []int{0, 1, 2, 3}
+	p.AddVSSD(vssd.Config{Name: "a", Channels: all, LogicalPages: 512})
+	p.AddVSSD(vssd.Config{Name: "b", Channels: all, LogicalPages: 512})
+	ConfigureSoftwareIsolation(p, 1.5)
+	// Smoke: requests still flow under throttling.
+	var done bool
+	p.VSSD(0).Submit(&vssd.Request{Write: true, LPN: 0, Pages: 1,
+		OnComplete: func(*vssd.Request, sim.Time) { done = true }})
+	eng.Run()
+	if !done {
+		t.Fatal("request did not complete under software isolation")
+	}
+}
+
+func TestAdaptiveProportionalAllocation(t *testing.T) {
+	a := &Adaptive{TotalChannels: 8}
+	snaps := []vssd.WindowSnapshot{
+		snapBW(0, 300e6, sim.Second), // hungry
+		snapBW(1, 100e6, sim.Second), // light
+	}
+	acts := a.Decide(0, snaps)
+	if len(acts) != 2 {
+		t.Fatalf("actions = %d", len(acts))
+	}
+	var n0, n1 int
+	seen := map[int]bool{}
+	for _, act := range acts {
+		if act.Kind != vssd.ActSetChannels {
+			t.Fatalf("unexpected action %v", act.Kind)
+		}
+		for _, c := range act.Channels {
+			if seen[c] {
+				t.Fatalf("channel %d assigned twice", c)
+			}
+			seen[c] = true
+		}
+		if act.VSSD == 0 {
+			n0 = len(act.Channels)
+		} else {
+			n1 = len(act.Channels)
+		}
+	}
+	if n0+n1 != 8 {
+		t.Fatalf("partition covers %d channels", n0+n1)
+	}
+	if n0 <= n1 {
+		t.Fatalf("hungry vSSD got %d ≤ light's %d", n0, n1)
+	}
+	if n1 < 1 {
+		t.Fatal("every vSSD keeps at least one channel")
+	}
+}
+
+func TestAdaptiveIdleSplitsEvenly(t *testing.T) {
+	a := &Adaptive{TotalChannels: 8}
+	snaps := []vssd.WindowSnapshot{
+		{VSSD: 0, Duration: sim.Second},
+		{VSSD: 1, Duration: sim.Second},
+	}
+	acts := a.Decide(0, snaps)
+	for _, act := range acts {
+		if len(act.Channels) != 4 {
+			t.Fatalf("idle split = %d channels", len(act.Channels))
+		}
+	}
+}
+
+func TestAdaptiveDegenerate(t *testing.T) {
+	a := &Adaptive{TotalChannels: 1}
+	if acts := a.Decide(0, []vssd.WindowSnapshot{{}, {}}); acts != nil {
+		t.Fatal("cannot partition 1 channel across 2 vSSDs")
+	}
+	if acts := a.Decide(0, nil); acts != nil {
+		t.Fatal("no snaps, no actions")
+	}
+}
+
+func TestSSDKeeperPredictsMonotoneDemand(t *testing.T) {
+	sk := NewSSDKeeper(16, 64e6, 1)
+	low := sk.Predict(0.05, 0.2, 0.5)
+	high := sk.Predict(0.8, 0.2, 0.5)
+	if low < 1 || high > 16 {
+		t.Fatalf("predictions out of range: %d, %d", low, high)
+	}
+	if high <= low {
+		t.Fatalf("demand not increasing with bandwidth: %d vs %d", low, high)
+	}
+	// A near-saturating workload should demand most of the device.
+	if high < 10 {
+		t.Fatalf("80%% load predicted only %d channels", high)
+	}
+	// A tiny workload should demand few channels.
+	if low > 4 {
+		t.Fatalf("5%% load predicted %d channels", low)
+	}
+}
+
+func TestSSDKeeperPartitionsOnceAfterObservation(t *testing.T) {
+	sk := NewSSDKeeper(8, 64e6, 2)
+	sk.ObserveWindows = 2
+	snaps := []vssd.WindowSnapshot{
+		snapBW(0, 300e6, sim.Second),
+		snapBW(1, 30e6, sim.Second),
+	}
+	if acts := sk.Decide(0, snaps); acts != nil {
+		t.Fatal("acted before observation finished")
+	}
+	acts := sk.Decide(0, snaps)
+	if acts == nil {
+		t.Fatal("no partition after observation")
+	}
+	if !sk.Decided() {
+		t.Fatal("not marked decided")
+	}
+	total := 0
+	var hungry, light int
+	for _, a := range acts {
+		total += len(a.Channels)
+		if a.VSSD == 0 {
+			hungry = len(a.Channels)
+		} else {
+			light = len(a.Channels)
+		}
+	}
+	if total != 8 {
+		t.Fatalf("partition covers %d channels", total)
+	}
+	if hungry <= light {
+		t.Fatalf("hungry=%d light=%d", hungry, light)
+	}
+	// Static afterwards.
+	if acts := sk.Decide(0, snaps); acts != nil {
+		t.Fatal("SSDKeeper must stay static after deciding")
+	}
+}

@@ -1,0 +1,327 @@
+// Package cluster implements FleetIO's workload-type learning (§3.4):
+// block I/O traces are cut into windows (10K requests each), reduced to
+// four features — read bandwidth, write bandwidth, LPA entropy, and
+// average I/O size — standardized, and clustered with k-means(++). A PCA
+// projection to two dimensions reproduces Figure 6, and the trained model
+// classifies live vSSD traffic so each agent gets the reward coefficient
+// tuned for its workload type.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// FeatureDim is the number of features per window.
+const FeatureDim = 4
+
+// entropyBuckets is the LPA histogram resolution for the entropy feature.
+const entropyBuckets = 64
+
+// Features reduces one window of trace records to the §3.4 feature vector:
+// [log read MB/s, log write MB/s, normalized LPA entropy, log avg I/O size
+// KB]. Bandwidths and sizes are log-scaled (log1p) so the huge dynamic
+// range of bandwidth-intensive jobs does not drown the latency-sensitive
+// structure; entropy buckets span the vSSD's whole logical space
+// (logicalPages), so a sequential window — however wide its own span —
+// reads as concentrated.
+func Features(recs []trace.Record, pageSize int, logicalPages int64) [FeatureDim]float64 {
+	var f [FeatureDim]float64
+	if len(recs) == 0 {
+		return f
+	}
+	if logicalPages <= 0 {
+		logicalPages = 1
+	}
+	var readBytes, writeBytes, totalBytes int64
+	var hist [entropyBuckets]float64
+	for _, r := range recs {
+		b := r.Bytes(pageSize)
+		totalBytes += b
+		if r.Write {
+			writeBytes += b
+		} else {
+			readBytes += b
+		}
+		bucket := int(r.LPN * entropyBuckets / logicalPages)
+		if bucket < 0 {
+			bucket = 0
+		}
+		if bucket >= entropyBuckets {
+			bucket = entropyBuckets - 1
+		}
+		hist[bucket]++
+	}
+	dur := float64(recs[len(recs)-1].At-recs[0].At) / 1e9
+	if dur <= 0 {
+		dur = 1e-6
+	}
+	f[0] = math.Log1p(float64(readBytes) / dur / 1e6)
+	f[1] = math.Log1p(float64(writeBytes) / dur / 1e6)
+
+	h := 0.0
+	n := float64(len(recs))
+	for _, c := range hist {
+		if c > 0 {
+			p := c / n
+			h -= p * math.Log(p)
+		}
+	}
+	f[2] = h / math.Log(entropyBuckets) // normalized to [0,1]
+	f[3] = math.Log1p(float64(totalBytes) / n / 1024)
+	return f
+}
+
+// Windowize splits records into consecutive windows of perWindow records,
+// dropping a final partial window.
+func Windowize(recs []trace.Record, perWindow int) [][]trace.Record {
+	if perWindow <= 0 {
+		panic("cluster: non-positive window")
+	}
+	var out [][]trace.Record
+	for start := 0; start+perWindow <= len(recs); start += perWindow {
+		out = append(out, recs[start:start+perWindow])
+	}
+	return out
+}
+
+// Standardize z-scores each dimension in place-safe copies, returning the
+// scaled points and the (mean, std) used — std floors at 1e-9 so constant
+// dimensions do not blow up.
+func Standardize(points [][]float64) (scaled [][]float64, mean, std []float64) {
+	if len(points) == 0 {
+		return nil, nil, nil
+	}
+	dim := len(points[0])
+	mean = make([]float64, dim)
+	std = make([]float64, dim)
+	for _, p := range points {
+		for d, v := range p {
+			mean[d] += v
+		}
+	}
+	for d := range mean {
+		mean[d] /= float64(len(points))
+	}
+	for _, p := range points {
+		for d, v := range p {
+			diff := v - mean[d]
+			std[d] += diff * diff
+		}
+	}
+	for d := range std {
+		std[d] = math.Sqrt(std[d] / float64(len(points)))
+		if std[d] < 1e-9 {
+			std[d] = 1e-9
+		}
+	}
+	scaled = make([][]float64, len(points))
+	for i, p := range points {
+		s := make([]float64, dim)
+		for d, v := range p {
+			s[d] = (v - mean[d]) / std[d]
+		}
+		scaled[i] = s
+	}
+	return scaled, mean, std
+}
+
+// Apply standardizes one point with a previously computed mean/std.
+func Apply(p, mean, std []float64) []float64 {
+	out := make([]float64, len(p))
+	for d, v := range p {
+		out[d] = (v - mean[d]) / std[d]
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KMeans is a fitted k-means model.
+type KMeans struct {
+	K         int
+	Centroids [][]float64
+}
+
+// FitKMeans clusters standardized points with k-means++ initialization and
+// Lloyd iterations.
+func FitKMeans(points [][]float64, k, iters int, rng *sim.RNG) *KMeans {
+	if len(points) < k {
+		panic(fmt.Sprintf("cluster: %d points for k=%d", len(points), k))
+	}
+	dim := len(points[0])
+	centroids := make([][]float64, 0, k)
+	// k-means++ seeding.
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, append([]float64(nil), first...))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		target := rng.Float64() * total
+		idx := 0
+		for i, d := range d2 {
+			target -= d
+			if target <= 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[idx]...))
+	}
+	assign := make([]int, len(points))
+	for iter := 0; iter < iters; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d, v := range p {
+				sums[c][d] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the farthest point.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[c], points[far])
+				continue
+			}
+			for d := range centroids[c] {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	return &KMeans{K: k, Centroids: centroids}
+}
+
+// Assign returns the nearest centroid index for a standardized point.
+func (km *KMeans) Assign(p []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cen := range km.Centroids {
+		if d := sqDist(p, cen); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// PCA2 projects standardized points onto their top two principal
+// components (power iteration with deflation). It returns the projections
+// and the two component vectors.
+func PCA2(points [][]float64, rng *sim.RNG) (proj [][2]float64, comps [2][]float64) {
+	if len(points) == 0 {
+		return nil, comps
+	}
+	dim := len(points[0])
+	// Covariance (points assumed centered by Standardize).
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	for _, p := range points {
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				cov[i][j] += p[i] * p[j]
+			}
+		}
+	}
+	n := float64(len(points))
+	for i := range cov {
+		for j := range cov[i] {
+			cov[i][j] /= n
+		}
+	}
+	power := func(deflate []float64) []float64 {
+		v := make([]float64, dim)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		for iter := 0; iter < 200; iter++ {
+			if deflate != nil {
+				dot := 0.0
+				for i := range v {
+					dot += v[i] * deflate[i]
+				}
+				for i := range v {
+					v[i] -= dot * deflate[i]
+				}
+			}
+			next := make([]float64, dim)
+			for i := 0; i < dim; i++ {
+				for j := 0; j < dim; j++ {
+					next[i] += cov[i][j] * v[j]
+				}
+			}
+			norm := 0.0
+			for _, x := range next {
+				norm += x * x
+			}
+			norm = math.Sqrt(norm)
+			if norm < 1e-12 {
+				return v
+			}
+			for i := range next {
+				next[i] /= norm
+			}
+			v = next
+		}
+		return v
+	}
+	comps[0] = power(nil)
+	comps[1] = power(comps[0])
+	proj = make([][2]float64, len(points))
+	for i, p := range points {
+		for c := 0; c < 2; c++ {
+			dot := 0.0
+			for d := range p {
+				dot += p[d] * comps[c][d]
+			}
+			proj[i][c] = dot
+		}
+	}
+	return proj, comps
+}

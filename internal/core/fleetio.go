@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/nn"
+	"repro/internal/rl"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vssd"
+)
+
+// HarvestLevels are the channel counts each harvest-related action head
+// can request (head index → channels). Level 0 means "none".
+var HarvestLevels = []int{0, 1, 2, 4, 8}
+
+// PriorityLevels maps the Set_Priority head to ftl scheduling levels
+// (low/medium/high).
+var PriorityLevels = []int{1, 2, 3}
+
+// Mode selects the Figure 15 reward variants.
+type Mode uint8
+
+// FleetIO reward modes.
+const (
+	// ModeFull is FleetIO proper: per-type α and β-mixed rewards.
+	ModeFull Mode = iota
+	// ModeUnifiedGlobal uses the unified α=0.01 for every agent (keeps β).
+	ModeUnifiedGlobal
+	// ModeCustomizedLocal keeps per-type α but sets β=1 (selfish agents).
+	ModeCustomizedLocal
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeUnifiedGlobal:
+		return "FleetIO-Unified-Global"
+	case ModeCustomizedLocal:
+		return "FleetIO-Customized-Local"
+	default:
+		return "FleetIO"
+	}
+}
+
+// FleetIOConfig configures the policy.
+type FleetIOConfig struct {
+	Mode           Mode
+	Beta           float64 // default 0.6
+	SLOVioGuar     float64 // default 0.01
+	HistoryWindows int     // default 3
+	Train          bool    // online fine-tuning
+	TrainEvery     int     // windows between PPO updates (paper: 10)
+	TypeEvery      int     // windows between workload re-typing (0 = off)
+	Seed           int64
+
+	// Pretrained, when set, seeds every agent with a copy of this network.
+	Pretrained *nn.ActorCritic
+	// ShareModel makes all agents train one shared network (pretraining
+	// mode); otherwise each agent fine-tunes its own copy.
+	ShareModel bool
+
+	// TypeModel classifies workloads for per-type α (§3.4); nil keeps the
+	// unified α.
+	TypeModel *cluster.Model
+	// AlphaByCluster maps the TypeModel's cluster ids to α values.
+	AlphaByCluster map[int]float64
+	// RL overrides PPO hyperparameters (zero value → DefaultConfig).
+	RL rl.Config
+}
+
+// agent is the per-vSSD RL state.
+type agent struct {
+	id     int
+	ppo    *rl.PPO
+	buf    rl.Buffer
+	hist   *History
+	scales StateScales
+	alpha  float64
+
+	pending     bool
+	lastState   []float64
+	lastActions []int
+	lastLogProb float64
+	lastValue   float64
+
+	rec *trace.Recorder
+}
+
+// FleetIO is the paper's policy: one RL agent per vSSD issuing Harvest,
+// Make_Harvestable, and Set_Priority actions every window.
+type FleetIO struct {
+	cfg    FleetIOConfig
+	plat   *vssd.Platform
+	agents []*agent
+	shared *rl.PPO
+	rng    *sim.RNG
+
+	windows    int64
+	trainStats []rl.TrainStats
+}
+
+// NewFleetIO builds the policy for a platform's current vSSDs.
+func NewFleetIO(plat *vssd.Platform, cfg FleetIOConfig) *FleetIO {
+	if cfg.Beta == 0 {
+		cfg.Beta = DefaultBeta
+	}
+	if cfg.Mode == ModeCustomizedLocal {
+		cfg.Beta = 1.0
+	}
+	if cfg.SLOVioGuar == 0 {
+		cfg.SLOVioGuar = 0.01
+	}
+	if cfg.HistoryWindows == 0 {
+		cfg.HistoryWindows = DefaultHistoryWindows
+	}
+	if cfg.TrainEvery == 0 {
+		cfg.TrainEvery = 10
+	}
+	if cfg.RL.Gamma == 0 {
+		rcfg := rl.DefaultConfig()
+		rcfg.LR = cfg.RL.LR
+		if rcfg.LR == 0 {
+			rcfg.LR = rl.DefaultConfig().LR
+		}
+		cfg.RL = rcfg
+	}
+	f := &FleetIO{cfg: cfg, plat: plat, rng: sim.NewRNG(cfg.Seed)}
+	dim := cfg.HistoryWindows * StatesPerWindow
+	heads := []int{len(HarvestLevels), len(HarvestLevels), len(PriorityLevels)}
+	newNet := func(r *sim.RNG) *nn.ActorCritic {
+		if cfg.Pretrained != nil {
+			return cfg.Pretrained.Clone()
+		}
+		return nn.NewActorCritic(dim, 50, heads, r)
+	}
+	if cfg.ShareModel {
+		// Shared-model training continues on the provided network in place
+		// (pretraining episodes chain); without one, a fresh net is built.
+		net := cfg.Pretrained
+		if net == nil {
+			net = nn.NewActorCritic(dim, 50, heads, f.rng.Split(-1))
+		}
+		f.shared = rl.New(net, cfg.RL, f.rng.Split(-2))
+	}
+	chanBW := plat.FlashConfig().ChannelBandwidth()
+	for i, v := range plat.VSSDs() {
+		a := &agent{
+			id:     i,
+			hist:   NewHistory(cfg.HistoryWindows),
+			alpha:  UnifiedAlpha,
+			scales: DefaultScales(len(v.Tenant().Channels()), chanBW, int64(v.Tenant().LogicalPages())*int64(plat.FlashConfig().PageSize)),
+		}
+		if cfg.ShareModel {
+			a.ppo = f.shared
+		} else {
+			r := f.rng.Split(int64(i))
+			a.ppo = rl.New(newNet(r), cfg.RL, r.Split(7))
+		}
+		f.agents = append(f.agents, a)
+	}
+	return f
+}
+
+// Name implements Policy.
+func (f *FleetIO) Name() string { return f.cfg.Mode.String() }
+
+// SetRecorder attaches a block-trace recorder for workload typing (§3.4);
+// the harness wires each vSSD's generator recorder here.
+func (f *FleetIO) SetRecorder(vssdID int, rec *trace.Recorder) {
+	f.agents[vssdID].rec = rec
+}
+
+// SetAlpha pins an agent's reward coefficient (used by tests and the
+// α-tuning pipeline).
+func (f *FleetIO) SetAlpha(vssdID int, alpha float64) { f.agents[vssdID].alpha = alpha }
+
+// Alpha returns an agent's current reward coefficient.
+func (f *FleetIO) Alpha(vssdID int) float64 { return f.agents[vssdID].alpha }
+
+// Agents returns the number of agents.
+func (f *FleetIO) Agents() int { return len(f.agents) }
+
+// Net returns the network of agent id (the shared net in ShareModel mode).
+func (f *FleetIO) Net(id int) *nn.ActorCritic { return f.agents[id].ppo.Net }
+
+// TrainStats returns PPO statistics collected so far.
+func (f *FleetIO) TrainStats() []rl.TrainStats { return f.trainStats }
+
+// Decide implements Policy: reward the previous actions (Eq. 1 + Eq. 2),
+// train periodically, re-type workloads, then act.
+func (f *FleetIO) Decide(now sim.Time, snaps []vssd.WindowSnapshot) []vssd.Action {
+	f.windows++
+	n := len(f.agents)
+	if n != len(snaps) {
+		panic(fmt.Sprintf("core: %d snapshots for %d agents", len(snaps), n))
+	}
+
+	// Rewards for the window that just closed.
+	single := make([]float64, n)
+	for i, a := range f.agents {
+		alpha := a.alpha
+		if f.cfg.Mode == ModeUnifiedGlobal {
+			alpha = UnifiedAlpha
+		}
+		single[i] = SingleReward(alpha, snaps[i], a.scales.GuaranteedBW, f.cfg.SLOVioGuar)
+	}
+	mixed := MixRewards(single, f.cfg.Beta)
+
+	// Shared states (Σ over collocated agents, §3.3.1).
+	var totIOPS, totVio float64
+	iops := make([]float64, n)
+	vio := make([]float64, n)
+	for i, s := range snaps {
+		dur := s.Duration
+		if dur <= 0 {
+			dur = 1
+		}
+		iops[i] = s.Window.IOPS(dur)
+		vio[i] = s.Window.SLOViolationRate()
+		totIOPS += iops[i]
+		totVio += vio[i]
+	}
+
+	// Periodic workload re-typing.
+	if f.cfg.TypeEvery > 0 && f.cfg.TypeModel != nil && f.windows%int64(f.cfg.TypeEvery) == 0 {
+		f.retype()
+	}
+
+	actions := make([]vssd.Action, 0, 3*n)
+	chanBW := f.plat.FlashConfig().ChannelBandwidth()
+	for i, a := range f.agents {
+		// Record the transition closed by this window.
+		if a.pending && f.cfg.Train {
+			a.buf.Add(rl.Transition{
+				State:   a.lastState,
+				Actions: a.lastActions,
+				LogProb: a.lastLogProb,
+				Value:   a.lastValue,
+				Reward:  mixed[i],
+			})
+		}
+		// New stacked state.
+		ws := EncodeWindow(snaps[i], a.scales, totIOPS-iops[i], totVio-vio[i])
+		a.hist.Push(ws)
+		state := a.hist.Vector()
+
+		var acts []int
+		if f.cfg.Train {
+			// Both pretraining and deployed fine-tuning sample the
+			// stochastic policy: exploration is what lets the agents keep
+			// matching harvest supply to the collocated demand (the
+			// harvested superblocks drain and must be re-negotiated every
+			// few windows). The α-gated priority cap above bounds the
+			// damage of a bad sample to the latency tenants.
+			var lp, val float64
+			acts, lp, val = a.ppo.Act(state)
+			a.lastState = state
+			a.lastActions = acts
+			a.lastLogProb = lp
+			a.lastValue = val
+			a.pending = true
+			if f.windows%int64(f.cfg.TrainEvery) == 0 && a.buf.Len() >= f.cfg.RL.MiniBatch {
+				st := a.ppo.Train(&a.buf, a.ppo.Value(state))
+				f.trainStats = append(f.trainStats, st)
+			}
+		} else {
+			acts = a.ppo.ActGreedy(state)
+		}
+
+		// Priority boosts exist "to help each vSSD meet the performance
+		// isolation goal" (§3.3.2). A bandwidth-typed agent (α=0) has no
+		// isolation term in its reward, so nothing stops it from squatting
+		// on the highest priority and starving collocated latency-sensitive
+		// tenants; cap it at medium. Conversely, a latency-typed agent that
+		// is currently blowing its SLO budget escalates immediately —
+		// §3.3.2's "if a vSSD experiences high SLO violations ... the RL
+		// agent will increase the priority level", enforced as a guardrail
+		// so one badly sampled action cannot cost a window of tail latency.
+		level := PriorityLevels[acts[2]]
+		if a.alpha <= 1e-9 {
+			if level > 2 {
+				level = 2
+			}
+		} else if vio[i] > f.cfg.SLOVioGuar && level < 3 {
+			level = 3
+		}
+		actions = append(actions,
+			vssd.Action{VSSD: i, Kind: vssd.ActMakeHarvestable,
+				BW: float64(HarvestLevels[acts[1]]) * chanBW},
+			vssd.Action{VSSD: i, Kind: vssd.ActHarvest,
+				BW: float64(HarvestLevels[acts[0]]) * chanBW},
+			vssd.Action{VSSD: i, Kind: vssd.ActSetPriority, Level: level},
+		)
+	}
+	return actions
+}
+
+// retype re-classifies each vSSD's recent traffic and updates α (§3.4).
+func (f *FleetIO) retype() {
+	pageSize := f.plat.FlashConfig().PageSize
+	for _, a := range f.agents {
+		if a.rec == nil || a.rec.Len() < 100 {
+			continue
+		}
+		recs := a.rec.Records()
+		logical := int64(f.plat.VSSD(a.id).Tenant().LogicalPages())
+		c, known := f.cfg.TypeModel.ClassifyTrace(recs, pageSize, logical)
+		if !known {
+			a.alpha = UnifiedAlpha
+			continue
+		}
+		if alpha, ok := f.cfg.AlphaByCluster[c]; ok {
+			a.alpha = alpha
+		} else {
+			a.alpha = UnifiedAlpha
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import "repro/internal/vssd"
+
+// RewardConfig holds the Eq. 1 / Eq. 2 parameters.
+type RewardConfig struct {
+	// Alpha trades bandwidth against SLO violations (Eq. 1): larger α
+	// prioritizes performance isolation. §3.8's fine-tuned values are
+	// 2.5e-2 (LC-1), 5e-3 (LC-2), and 0 (bandwidth-intensive); the unified
+	// fallback is 0.01.
+	Alpha float64
+	// Beta mixes an agent's own reward with its collocated agents' average
+	// (Eq. 2). The paper's default is 0.6.
+	Beta float64
+	// SLOVioGuar is the guaranteed SLO-violation budget (1% in §3.3.3).
+	SLOVioGuar float64
+}
+
+// UnifiedAlpha is the fallback α for unknown workload types (§3.4).
+const UnifiedAlpha = 0.01
+
+// Fine-tuned α values per workload type (§3.8).
+const (
+	AlphaLC1 = 2.5e-2 // broad latency-sensitive cluster
+	AlphaLC2 = 5e-3   // YCSB-like low-entropy cluster
+	AlphaBI  = 0.0    // bandwidth-intensive ("TO") cluster
+)
+
+// DefaultBeta is the paper's reward-mixing coefficient.
+const DefaultBeta = 0.6
+
+// SingleReward computes Eq. 1 for one vSSD window:
+//
+//	R = (1-α)·AvgBW/AvgBW_guar − α·SLO_Vio/SLO_Vio_guar
+func SingleReward(alpha float64, snap vssd.WindowSnapshot, guaranteedBW, sloVioGuar float64) float64 {
+	dur := snap.Duration
+	if dur <= 0 {
+		dur = 1
+	}
+	bwTerm := snap.Window.Bandwidth(dur) / nz(guaranteedBW)
+	vioTerm := snap.Window.SLOViolationRate() / nz(sloVioGuar)
+	return (1-alpha)*bwTerm - alpha*vioTerm
+}
+
+// MixRewards applies Eq. 2: each agent's reward becomes
+// β·own + (1-β)·mean(others). A single agent keeps its own reward.
+func MixRewards(single []float64, beta float64) []float64 {
+	n := len(single)
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = single[0]
+		return out
+	}
+	var sum float64
+	for _, r := range single {
+		sum += r
+	}
+	for i, r := range single {
+		others := (sum - r) / float64(n-1)
+		out[i] = beta*r + (1-beta)*others
+	}
+	return out
+}
+
+// TuneAlpha implements §3.4's reward fine-tuning: binary-search the
+// smallest α whose measured SLO-violation rate stays within threshold
+// (default 5%) — the smallest admissible α delivers the highest bandwidth.
+// eval(α) runs the workload under α and returns its violation rate;
+// violation rates are assumed non-increasing in α. iters halvings give
+// 2^-iters resolution.
+func TuneAlpha(eval func(alpha float64) float64, threshold float64, iters int) float64 {
+	lo, hi := 0.0, 1.0
+	if eval(lo) <= threshold {
+		return lo
+	}
+	if eval(hi) > threshold {
+		return hi // even maximum isolation cannot meet the threshold
+	}
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		if eval(mid) <= threshold {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

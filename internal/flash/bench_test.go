@@ -1,0 +1,60 @@
+package flash
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkSaturatedChannel measures simulated page reads per wall second
+// on one fully loaded channel.
+func BenchmarkSaturatedChannel(b *testing.B) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	d := NewDevice(eng, cfg)
+	issued := 0
+	var issue func()
+	issue = func() {
+		if issued >= b.N {
+			return
+		}
+		issued++
+		d.Submit(&Op{Kind: OpRead,
+			Addr: PPA{Channel: 0, Chip: issued % cfg.ChipsPerChannel},
+			Done: func(sim.Time) { issue() }})
+	}
+	b.ResetTimer()
+	for i := 0; i < cfg.QueueDepth && i < b.N; i++ {
+		issue()
+	}
+	eng.Run()
+}
+
+// BenchmarkMixedDevice measures a full 16-channel device under a
+// read/write mix.
+func BenchmarkMixedDevice(b *testing.B) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	d := NewDevice(eng, cfg)
+	rng := sim.NewRNG(1)
+	issued := 0
+	var issue func()
+	issue = func() {
+		if issued >= b.N {
+			return
+		}
+		issued++
+		kind := OpRead
+		if rng.Float64() < 0.3 {
+			kind = OpProgram
+		}
+		d.Submit(&Op{Kind: kind,
+			Addr: PPA{Channel: rng.Intn(cfg.Channels), Chip: rng.Intn(cfg.ChipsPerChannel)},
+			Done: func(sim.Time) { issue() }})
+	}
+	b.ResetTimer()
+	for i := 0; i < 64 && i < b.N; i++ {
+		issue()
+	}
+	eng.Run()
+}

@@ -1,0 +1,389 @@
+// Package flash models an open-channel SSD at the level FleetIO manages it:
+// channels that issue commands independently, chips that overlap cell
+// operations behind a serialized per-channel bus, and blocks/pages with
+// NAND timing for read, program, and erase. The model is a discrete-event
+// substitute for the programmable SSD board used by the paper (Table 3
+// geometry) — it reproduces the contention, queueing, and GC effects that
+// determine the paper's relative results.
+package flash
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config describes the device geometry and timing. The defaults mirror
+// Table 3 of the paper with a bus calibrated so one channel sustains about
+// 64 MB/s, the per-channel bandwidth the paper quotes in §3.6.
+type Config struct {
+	Channels        int // independent flash channels
+	ChipsPerChannel int // chips (dies) sharing one channel bus
+	BlocksPerChip   int // erase blocks per chip
+	PagesPerBlock   int // pages per erase block
+	PageSize        int // bytes per page
+
+	ReadPage    sim.Time // cell read (tR)
+	ProgramPage sim.Time // cell program (tPROG)
+	EraseBlock  sim.Time // block erase (tBERS)
+	BusNsPerKB  sim.Time // channel bus transfer time per KiB
+
+	QueueDepth int // max outstanding commands per channel
+}
+
+// DefaultConfig returns the paper's Table 3 device: 16 channels, 4 chips
+// per channel, 16 KB pages, queue depth 16. BlocksPerChip is scaled down
+// from the paper's 1 TB board so simulations stay fast; capacity-sensitive
+// experiments override it.
+func DefaultConfig() Config {
+	return Config{
+		Channels:        16,
+		ChipsPerChannel: 4,
+		BlocksPerChip:   256, // 256 blocks * 4MB = 1 GiB/chip simulated
+		PagesPerBlock:   256, // 256 * 16KB = 4 MiB blocks
+		PageSize:        16 << 10,
+		ReadPage:        70 * sim.Microsecond,
+		ProgramPage:     500 * sim.Microsecond,
+		EraseBlock:      3 * sim.Millisecond,
+		BusNsPerKB:      15_250, // ~64 MiB/s channel bus
+		QueueDepth:      16,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0:
+		return fmt.Errorf("flash: Channels = %d", c.Channels)
+	case c.ChipsPerChannel <= 0:
+		return fmt.Errorf("flash: ChipsPerChannel = %d", c.ChipsPerChannel)
+	case c.BlocksPerChip <= 0:
+		return fmt.Errorf("flash: BlocksPerChip = %d", c.BlocksPerChip)
+	case c.PagesPerBlock <= 0:
+		return fmt.Errorf("flash: PagesPerBlock = %d", c.PagesPerBlock)
+	case c.PageSize <= 0:
+		return fmt.Errorf("flash: PageSize = %d", c.PageSize)
+	case c.ReadPage <= 0 || c.ProgramPage <= 0 || c.EraseBlock <= 0:
+		return fmt.Errorf("flash: non-positive NAND timing")
+	case c.BusNsPerKB <= 0:
+		return fmt.Errorf("flash: BusNsPerKB = %d", c.BusNsPerKB)
+	case c.QueueDepth <= 0:
+		return fmt.Errorf("flash: QueueDepth = %d", c.QueueDepth)
+	}
+	return nil
+}
+
+// TotalBlocks returns the number of erase blocks on the device.
+func (c Config) TotalBlocks() int {
+	return c.Channels * c.ChipsPerChannel * c.BlocksPerChip
+}
+
+// BlockBytes returns the capacity of one erase block.
+func (c Config) BlockBytes() int64 {
+	return int64(c.PagesPerBlock) * int64(c.PageSize)
+}
+
+// CapacityBytes returns the raw device capacity.
+func (c Config) CapacityBytes() int64 {
+	return int64(c.TotalBlocks()) * c.BlockBytes()
+}
+
+// ChannelBandwidth returns the calibrated peak payload bandwidth of one
+// channel in bytes/second (bus-limited).
+func (c Config) ChannelBandwidth() float64 {
+	return 1e9 / float64(c.BusNsPerKB) * 1024
+}
+
+// transferTime returns the bus time for n bytes.
+func (c Config) transferTime(n int) sim.Time {
+	t := (sim.Time(n) * c.BusNsPerKB) / 1024
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// PPA is a physical page address.
+type PPA struct {
+	Channel int
+	Chip    int
+	Block   int
+	Page    int
+}
+
+// BlockID identifies an erase block on the device.
+type BlockID struct {
+	Channel int
+	Chip    int
+	Block   int
+}
+
+// BlockOf returns the block containing the page.
+func (p PPA) BlockOf() BlockID {
+	return BlockID{Channel: p.Channel, Chip: p.Chip, Block: p.Block}
+}
+
+// OpKind is a flash command type.
+type OpKind uint8
+
+// Flash command kinds.
+const (
+	OpRead OpKind = iota
+	OpProgram
+	OpErase
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpErase:
+		return "erase"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one flash command submitted to a channel. Scheduling fields
+// (Priority, Pass) are set by the I/O scheduler: channels serve the highest
+// Priority first and, within a priority level, the lowest stride Pass, then
+// FIFO. Done is invoked when the command completes.
+type Op struct {
+	Kind     OpKind
+	Addr     PPA
+	Tenant   int     // owning vSSD, for accounting
+	Priority int     // higher is served first
+	Pass     float64 // stride-scheduling pass value (lower first)
+	Done     func(at sim.Time)
+
+	seq      uint64
+	enqueued sim.Time
+}
+
+// opHeap orders by (Priority desc, Pass asc, seq asc).
+type opHeap []*Op
+
+func (h opHeap) Len() int { return len(h) }
+func (h opHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	if h[i].Pass != h[j].Pass {
+		return h[i].Pass < h[j].Pass
+	}
+	return h[i].seq < h[j].seq
+}
+func (h opHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *opHeap) Push(x interface{}) { *h = append(*h, x.(*Op)) }
+func (h *opHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	op := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return op
+}
+
+// ChannelStats aggregates per-channel accounting used for utilization and
+// interference analysis.
+type ChannelStats struct {
+	BytesRead    int64
+	BytesWritten int64
+	Reads        int64
+	Programs     int64
+	Erases       int64
+	BusBusy      sim.Time // total time the channel bus spent transferring
+}
+
+// busWaiter is an op waiting its turn on the channel bus together with the
+// continuation to run when its transfer completes.
+type busWaiter struct {
+	op   *Op
+	dur  sim.Time
+	then func(busEnd sim.Time)
+}
+
+type busHeap []busWaiter
+
+func (h busHeap) Len() int { return len(h) }
+func (h busHeap) Less(i, j int) bool {
+	a, b := h[i].op, h[j].op
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if a.Pass != b.Pass {
+		return a.Pass < b.Pass
+	}
+	return a.seq < b.seq
+}
+func (h busHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *busHeap) Push(x interface{}) { *h = append(*h, x.(busWaiter)) }
+func (h *busHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = busWaiter{}
+	*h = old[:n-1]
+	return w
+}
+
+type channel struct {
+	id       int
+	busBusy  bool
+	busQueue busHeap
+	chipFree []sim.Time
+	queue    opHeap
+	inflight int
+	stats    ChannelStats
+}
+
+// Device is the simulated open-channel SSD. It is driven entirely from
+// engine callbacks and is not safe for concurrent use.
+type Device struct {
+	cfg Config
+	eng *sim.Engine
+	chs []*channel
+	seq uint64
+}
+
+// NewDevice builds a device on the engine. It panics on an invalid config
+// (construction happens at setup time where a panic is an assertion).
+func NewDevice(eng *sim.Engine, cfg Config) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &Device{cfg: cfg, eng: eng, chs: make([]*channel, cfg.Channels)}
+	for i := range d.chs {
+		d.chs[i] = &channel{id: i, chipFree: make([]sim.Time, cfg.ChipsPerChannel)}
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a copy of the accounting for channel ch.
+func (d *Device) Stats(ch int) ChannelStats { return d.chs[ch].stats }
+
+// QueueLen returns the number of ops waiting (not yet dispatched) on ch.
+func (d *Device) QueueLen(ch int) int { return len(d.chs[ch].queue) }
+
+// Inflight returns the number of dispatched, uncompleted ops on ch.
+func (d *Device) Inflight(ch int) int { return d.chs[ch].inflight }
+
+// Submit enqueues op on its channel and dispatches if capacity allows.
+func (d *Device) Submit(op *Op) {
+	if op.Addr.Channel < 0 || op.Addr.Channel >= d.cfg.Channels {
+		panic(fmt.Sprintf("flash: channel %d out of range", op.Addr.Channel))
+	}
+	if op.Addr.Chip < 0 || op.Addr.Chip >= d.cfg.ChipsPerChannel {
+		panic(fmt.Sprintf("flash: chip %d out of range", op.Addr.Chip))
+	}
+	d.seq++
+	op.seq = d.seq
+	op.enqueued = d.eng.Now()
+	ch := d.chs[op.Addr.Channel]
+	heap.Push(&ch.queue, op)
+	d.dispatch(ch)
+}
+
+// dispatch starts queued ops while the channel has queue-depth headroom.
+func (d *Device) dispatch(ch *channel) {
+	for ch.inflight < d.cfg.QueueDepth && len(ch.queue) > 0 {
+		op := heap.Pop(&ch.queue).(*Op)
+		ch.inflight++
+		d.service(ch, op)
+	}
+}
+
+func (d *Device) complete(ch *channel, op *Op, at sim.Time) {
+	ch.inflight--
+	if op.Done != nil {
+		op.Done(at)
+	}
+	d.dispatch(ch)
+}
+
+// service runs op through its phases. Reads: cell sense on the chip, then a
+// bus-out transfer; programs: bus-in transfer, then cell program; erases:
+// cell only. Chips overlap cell work; the bus is a contended resource
+// arbitrated in (priority, pass, FIFO) order at the moment each transfer is
+// requested, so a late-arriving transfer can never be starved by a future
+// reservation.
+func (d *Device) service(ch *channel, op *Op) {
+	now := d.eng.Now()
+	xfer := d.cfg.transferTime(d.cfg.PageSize)
+	chip := &ch.chipFree[op.Addr.Chip]
+	switch op.Kind {
+	case OpRead:
+		cellStart := maxTime(now, *chip)
+		cellEnd := cellStart + d.cfg.ReadPage
+		*chip = cellEnd
+		ch.stats.Reads++
+		ch.stats.BytesRead += int64(d.cfg.PageSize)
+		d.eng.At(cellEnd, func() {
+			d.acquireBus(ch, op, xfer, func(busEnd sim.Time) {
+				d.complete(ch, op, busEnd)
+			})
+		})
+	case OpProgram:
+		ch.stats.Programs++
+		ch.stats.BytesWritten += int64(d.cfg.PageSize)
+		d.acquireBus(ch, op, xfer, func(busEnd sim.Time) {
+			cellStart := maxTime(busEnd, *chip)
+			cellEnd := cellStart + d.cfg.ProgramPage
+			*chip = cellEnd
+			d.eng.At(cellEnd, func() {
+				d.complete(ch, op, cellEnd)
+			})
+		})
+	case OpErase:
+		cellStart := maxTime(now, *chip)
+		cellEnd := cellStart + d.cfg.EraseBlock
+		*chip = cellEnd
+		ch.stats.Erases++
+		d.eng.At(cellEnd, func() {
+			d.complete(ch, op, cellEnd)
+		})
+	default:
+		panic(fmt.Sprintf("flash: unknown op kind %d", op.Kind))
+	}
+}
+
+// acquireBus grants the channel bus to op for dur, immediately if idle or
+// after queueing in (priority, pass, FIFO) order. then runs when the
+// transfer finishes.
+func (d *Device) acquireBus(ch *channel, op *Op, dur sim.Time, then func(busEnd sim.Time)) {
+	if ch.busBusy {
+		heap.Push(&ch.busQueue, busWaiter{op: op, dur: dur, then: then})
+		return
+	}
+	d.grantBus(ch, busWaiter{op: op, dur: dur, then: then})
+}
+
+func (d *Device) grantBus(ch *channel, w busWaiter) {
+	ch.busBusy = true
+	end := d.eng.Now() + w.dur
+	ch.stats.BusBusy += w.dur
+	d.eng.At(end, func() {
+		w.then(end)
+		// w.then may have queued more waiters (e.g. a completed read chain
+		// dispatching the next op); serve the best one now.
+		if len(ch.busQueue) > 0 {
+			next := heap.Pop(&ch.busQueue).(busWaiter)
+			d.grantBus(ch, next)
+		} else {
+			ch.busBusy = false
+		}
+	})
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,302 @@
+// Package ftl implements the flash translation layer of the FleetIO
+// reproduction: logical-to-physical mapping with out-of-place updates,
+// write allocation striped across the channels a tenant owns, block
+// lending for ghost superblocks, and lazy greedy garbage collection that
+// prioritizes harvested/reclaimed blocks (§3.7 of the paper, including the
+// Harvested Block Table).
+//
+// One Manager exists per device and tracks every erase block. One Tenant
+// exists per vSSD and owns a logical page space plus write "lanes" — one
+// per (channel, chip) it may write to, covering both its own channels and
+// any harvested ghost-superblock blocks.
+package ftl
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+	"repro/internal/sim"
+)
+
+// Scheduling priorities used for flash ops. Host requests use
+// PriorityLow..PriorityHigh (the Set_Priority action moves a vSSD between
+// them); GC traffic runs strictly below all host traffic.
+const (
+	PriorityGC   = 0
+	PriorityLow  = 1
+	PriorityMed  = 2
+	PriorityHigh = 3
+)
+
+// BlockState is the lifecycle state of an erase block.
+type BlockState uint8
+
+// Block lifecycle states.
+const (
+	// BlockFree: erased, in its channel's free pool.
+	BlockFree BlockState = iota
+	// BlockLent: pulled from the free pool into a ghost superblock, not
+	// yet written (clean); owned by the home tenant, usable by a harvester.
+	BlockLent
+	// BlockOpen: actively being written (has a write pointer).
+	BlockOpen
+	// BlockFull: fully written; candidate for GC.
+	BlockFull
+	// BlockGC: currently being collected (excluded from victim selection).
+	BlockGC
+)
+
+const invalidPPA = int32(-1)
+
+// blockInfo is the Manager's bookkeeping for one erase block.
+type blockInfo struct {
+	id    flash.BlockID
+	state BlockState
+	// owner is the tenant whose channel pool the block came from (the
+	// "home_vssd" in gSB terms); -1 while free on a shared channel.
+	owner int
+	// user is the tenant whose data the block holds (the harvester for
+	// harvested blocks); -1 when unwritten.
+	user int
+	// harvested is the Harvested Block Table bit: true for blocks serving
+	// a gSB or pending lazy reclamation; cleared when GC erases the block.
+	harvested bool
+	// gsb is the ghost-superblock ID the block belongs to, or -1.
+	gsb      int
+	writePtr int
+	valid    int
+	// back-pointers for GC: the tenant and LPN stored in each page.
+	pageTenant []int32
+	pageLPN    []int32
+}
+
+// Stats summarizes FTL-wide activity, including the write-amplification
+// accounting used by the §3.7 claim (<5% extra WA from harvesting).
+type Stats struct {
+	HostPrograms int64
+	GCPrograms   int64
+	GCReads      int64
+	Erases       int64
+	GCRuns       int64
+}
+
+// WriteAmplification returns (host+gc programs)/host programs, or 1 when
+// nothing has been written.
+func (s Stats) WriteAmplification() float64 {
+	if s.HostPrograms == 0 {
+		return 1
+	}
+	return float64(s.HostPrograms+s.GCPrograms) / float64(s.HostPrograms)
+}
+
+// Manager tracks every erase block on the device and coordinates GC across
+// tenants. It is single-threaded model code driven by the sim engine.
+type Manager struct {
+	eng *sim.Engine
+	dev *flash.Device
+	cfg flash.Config
+
+	blocks    []blockInfo
+	freePools [][]int // per (channel*chips+chip): stack of free block indices
+	freeCount []int   // per channel
+	tenants   []*Tenant
+
+	// Submit sends a flash op to the device; the platform layer installs it
+	// (wrapping accounting). Defaults to dev.Submit.
+	Submit func(*flash.Op)
+
+	// GCReserve is the number of free blocks per channel reserved for GC
+	// migration so collection can always make forward progress.
+	GCReserve int
+	// GCThreshold is the free-block fraction below which a tenant starts
+	// collecting (the paper's lazy GC uses 20%). Zero disables GC.
+	GCThreshold float64
+	// GCConcurrency bounds the victim blocks a tenant collects at once
+	// (real FTLs collect per-channel in parallel).
+	GCConcurrency int
+	// GCPipeline bounds the in-flight page migrations per GC job.
+	GCPipeline int
+	// HarvestedFirst enables the §3.7 victim policy (harvested/reclaimed
+	// blocks before regular ones). Disabling it is the ablation.
+	HarvestedFirst bool
+
+	// onBlockErased notifies the gSB manager when GC returns a block to
+	// the free pool so it can finish lazy gSB reclamation.
+	onBlockErased func(blockIdx, gsbID int)
+
+	stats Stats
+}
+
+// OnBlockErased installs the post-erase hook (one consumer: gsb.Manager).
+func (m *Manager) OnBlockErased(fn func(blockIdx, gsbID int)) { m.onBlockErased = fn }
+
+// NewManager builds the block bookkeeping for dev. All blocks start free.
+func NewManager(eng *sim.Engine, dev *flash.Device) *Manager {
+	cfg := dev.Config()
+	m := &Manager{
+		eng:            eng,
+		dev:            dev,
+		cfg:            cfg,
+		blocks:         make([]blockInfo, cfg.TotalBlocks()),
+		freePools:      make([][]int, cfg.Channels*cfg.ChipsPerChannel),
+		freeCount:      make([]int, cfg.Channels),
+		GCReserve:      2,
+		GCThreshold:    0.20,
+		GCConcurrency:  4,
+		GCPipeline:     8,
+		HarvestedFirst: true,
+	}
+	m.Submit = dev.Submit
+	for p := range m.freePools {
+		m.freePools[p] = make([]int, 0, cfg.BlocksPerChip)
+	}
+	for i := range m.blocks {
+		b := &m.blocks[i]
+		b.id = m.blockID(i)
+		b.owner = -1
+		b.user = -1
+		b.gsb = -1
+		m.freePools[m.poolIndex(b.id.Channel, b.id.Chip)] = append(m.freePools[m.poolIndex(b.id.Channel, b.id.Chip)], i)
+		m.freeCount[b.id.Channel]++
+	}
+	return m
+}
+
+func (m *Manager) poolIndex(ch, chip int) int { return ch*m.cfg.ChipsPerChannel + chip }
+
+func (m *Manager) blockIndex(id flash.BlockID) int {
+	return (id.Channel*m.cfg.ChipsPerChannel+id.Chip)*m.cfg.BlocksPerChip + id.Block
+}
+
+func (m *Manager) blockID(idx int) flash.BlockID {
+	bpc := m.cfg.BlocksPerChip
+	chips := m.cfg.ChipsPerChannel
+	return flash.BlockID{
+		Channel: idx / (chips * bpc),
+		Chip:    (idx / bpc) % chips,
+		Block:   idx % bpc,
+	}
+}
+
+// Stats returns a copy of the manager-wide counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// FreeBlocks returns the number of free blocks on channel ch.
+func (m *Manager) FreeBlocks(ch int) int { return m.freeCount[ch] }
+
+// FreeFraction returns the fraction of blocks free across the channel set.
+func (m *Manager) FreeFraction(channels []int) float64 {
+	if len(channels) == 0 {
+		return 0
+	}
+	perChannel := m.cfg.ChipsPerChannel * m.cfg.BlocksPerChip
+	free := 0
+	for _, ch := range channels {
+		free += m.freeCount[ch]
+	}
+	return float64(free) / float64(len(channels)*perChannel)
+}
+
+// allocBlock pops a free block on channel ch, preferring the given chip
+// and falling back to the channel's other chips. GC migration (forGC) may
+// dip into the reserve; host allocation may not.
+func (m *Manager) allocBlock(ch, chip int, forGC bool) (int, bool) {
+	limit := 0
+	if !forGC {
+		limit = m.GCReserve
+	}
+	if m.freeCount[ch] <= limit {
+		return -1, false
+	}
+	for off := 0; off < m.cfg.ChipsPerChannel; off++ {
+		c := (chip + off) % m.cfg.ChipsPerChannel
+		pool := m.freePools[m.poolIndex(ch, c)]
+		if len(pool) == 0 {
+			continue
+		}
+		idx := pool[len(pool)-1]
+		m.freePools[m.poolIndex(ch, c)] = pool[:len(pool)-1]
+		m.freeCount[ch]--
+		return idx, true
+	}
+	return -1, false
+}
+
+// releaseBlock returns an erased block to its chip pool.
+func (m *Manager) releaseBlock(idx int) {
+	b := &m.blocks[idx]
+	b.state = BlockFree
+	b.owner = -1
+	b.user = -1
+	b.harvested = false
+	b.gsb = -1
+	b.writePtr = 0
+	b.valid = 0
+	b.pageTenant = nil
+	b.pageLPN = nil
+	p := m.poolIndex(b.id.Channel, b.id.Chip)
+	m.freePools[p] = append(m.freePools[p], idx)
+	m.freeCount[b.id.Channel]++
+}
+
+// LendBlocks pulls up to perChip clean blocks per chip from channel ch's
+// free pool for a ghost superblock owned by home, striping across chips so
+// the harvester gets the channel's full parallelism. It refuses to lend
+// when doing so would drop the channel below minFreeFrac free blocks (the
+// paper skips channels under 25% free). It returns the lent block indices
+// (possibly empty).
+func (m *Manager) LendBlocks(ch, perChip, home, gsbID int, minFreeFrac float64) []int {
+	perChannel := m.cfg.ChipsPerChannel * m.cfg.BlocksPerChip
+	want := perChip * m.cfg.ChipsPerChannel
+	if float64(m.freeCount[ch]-want)/float64(perChannel) < minFreeFrac {
+		return nil
+	}
+	var lent []int
+	for chip := 0; chip < m.cfg.ChipsPerChannel; chip++ {
+		for n := 0; n < perChip; n++ {
+			idx, ok := m.allocBlock(ch, chip, false)
+			if !ok {
+				break
+			}
+			b := &m.blocks[idx]
+			b.state = BlockLent
+			b.owner = home
+			b.user = -1
+			b.harvested = true
+			b.gsb = gsbID
+			lent = append(lent, idx)
+		}
+	}
+	return lent
+}
+
+// ReturnCleanBlock puts a lent, never-written block straight back into the
+// free pool (gSB destruction for an unused gSB).
+func (m *Manager) ReturnCleanBlock(idx int) {
+	b := &m.blocks[idx]
+	if b.state != BlockLent || b.writePtr != 0 {
+		panic(fmt.Sprintf("ftl: ReturnCleanBlock on %v state=%d writePtr=%d", b.id, b.state, b.writePtr))
+	}
+	m.releaseBlock(idx)
+}
+
+// BlockStateOf exposes a block's state for tests and the gSB manager.
+func (m *Manager) BlockStateOf(idx int) BlockState { return m.blocks[idx].state }
+
+// BlockHarvested reports the HBT bit of a block.
+func (m *Manager) BlockHarvested(idx int) bool { return m.blocks[idx].harvested }
+
+// BlockValid returns the number of valid pages in a block.
+func (m *Manager) BlockValid(idx int) int { return m.blocks[idx].valid }
+
+// BlockIDOf returns the physical identity of block idx.
+func (m *Manager) BlockIDOf(idx int) flash.BlockID { return m.blocks[idx].id }
+
+// Tenants returns the registered tenants (indexed by tenant ID).
+func (m *Manager) Tenants() []*Tenant { return m.tenants }
+
+// BlockBytes returns the capacity of one erase block.
+func (m *Manager) BlockBytes() int64 { return m.cfg.BlockBytes() }
+
+// Config returns the flash geometry the manager was built for.
+func (m *Manager) Config() flash.Config { return m.cfg }

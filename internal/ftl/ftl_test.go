@@ -1,0 +1,555 @@
+package ftl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flash"
+	"repro/internal/sim"
+)
+
+func smallConfig() flash.Config {
+	c := flash.DefaultConfig()
+	c.Channels = 2
+	c.ChipsPerChannel = 2
+	c.BlocksPerChip = 16
+	c.PagesPerBlock = 8
+	return c
+}
+
+func newTestMgr(t *testing.T, cfg flash.Config) (*sim.Engine, *Manager) {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev := flash.NewDevice(eng, cfg)
+	return eng, NewManager(eng, dev)
+}
+
+func TestBlockIndexRoundTrip(t *testing.T) {
+	_, m := newTestMgr(t, smallConfig())
+	for i := range m.blocks {
+		id := m.blockID(i)
+		if m.blockIndex(id) != i {
+			t.Fatalf("round trip failed for %d -> %v", i, id)
+		}
+	}
+}
+
+func TestAllBlocksStartFree(t *testing.T) {
+	cfg := smallConfig()
+	_, m := newTestMgr(t, cfg)
+	perChannel := cfg.ChipsPerChannel * cfg.BlocksPerChip
+	for ch := 0; ch < cfg.Channels; ch++ {
+		if m.FreeBlocks(ch) != perChannel {
+			t.Fatalf("channel %d free = %d, want %d", ch, m.FreeBlocks(ch), perChannel)
+		}
+	}
+	if got := m.FreeFraction([]int{0, 1}); got != 1.0 {
+		t.Fatalf("free fraction = %v, want 1", got)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	_, m := newTestMgr(t, smallConfig())
+	tn := NewTenant(m, 0, []int{0, 1}, 256)
+	ppa, ok := tn.AllocatePage(42, false)
+	if !ok {
+		t.Fatal("allocation failed on empty device")
+	}
+	got, ok := tn.Lookup(42)
+	if !ok || got != ppa {
+		t.Fatalf("lookup = %v/%v, want %v", got, ok, ppa)
+	}
+	if _, ok := tn.Lookup(41); ok {
+		t.Fatal("unmapped LPN must miss")
+	}
+}
+
+func TestOverwriteInvalidatesOldPage(t *testing.T) {
+	_, m := newTestMgr(t, smallConfig())
+	tn := NewTenant(m, 0, []int{0}, 256)
+	first, _ := tn.AllocatePage(7, false)
+	second, _ := tn.AllocatePage(7, false)
+	if first == second {
+		t.Fatal("out-of-place update must pick a new page")
+	}
+	got, _ := tn.Lookup(7)
+	if got != second {
+		t.Fatalf("lookup returns stale page: %v", got)
+	}
+	firstIdx := m.blockIndex(first.BlockOf())
+	// The page in the first block must be invalid now.
+	b := &m.blocks[firstIdx]
+	if b.pageTenant[first.Page] != invalidPPA {
+		t.Fatal("old page still marked valid")
+	}
+	if tn.MappedPages() != 1 {
+		t.Fatalf("mapped pages = %d, want 1", tn.MappedPages())
+	}
+}
+
+func TestWritesStripeAcrossChannels(t *testing.T) {
+	cfg := smallConfig()
+	_, m := newTestMgr(t, cfg)
+	tn := NewTenant(m, 0, []int{0, 1}, 256)
+	seen := make(map[int]bool)
+	for i := 0; i < 8; i++ {
+		ppa, ok := tn.AllocatePage(i, false)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		seen[ppa.Channel] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("writes used channels %v, want both", seen)
+	}
+}
+
+func TestTrim(t *testing.T) {
+	_, m := newTestMgr(t, smallConfig())
+	tn := NewTenant(m, 0, []int{0}, 64)
+	tn.AllocatePage(3, false)
+	tn.Trim(3)
+	if _, ok := tn.Lookup(3); ok {
+		t.Fatal("trimmed LPN must be unmapped")
+	}
+	if tn.MappedPages() != 0 {
+		t.Fatalf("mapped = %d after trim", tn.MappedPages())
+	}
+	tn.Trim(3)    // double trim is a no-op
+	tn.Trim(9999) // out of range is a no-op
+	tn.Trim(-1)   // negative is a no-op
+}
+
+func TestCapacityExhaustionRespectsReserve(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Channels = 1
+	cfg.ChipsPerChannel = 1
+	cfg.BlocksPerChip = 4
+	cfg.PagesPerBlock = 4
+	eng, m := newTestMgr(t, cfg)
+	m.GCThreshold = 0 // keep GC out of this test
+	tn := NewTenant(m, 0, []int{0}, 64)
+	writable := 0
+	for i := 0; i < 64; i++ {
+		if _, ok := tn.AllocatePage(i, false); ok {
+			writable++
+		}
+	}
+	// 4 blocks, reserve 2 → host can fill 2 blocks = 8 pages.
+	if writable != 8 {
+		t.Fatalf("host wrote %d pages, want 8 (reserve respected)", writable)
+	}
+	// GC allocation may use the reserve.
+	if _, ok := tn.AllocatePage(60, true); !ok {
+		t.Fatal("GC allocation must reach the reserve")
+	}
+	_ = eng
+}
+
+func TestGCReclaimsInvalidBlocks(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Channels = 1
+	cfg.ChipsPerChannel = 1
+	cfg.BlocksPerChip = 10
+	cfg.PagesPerBlock = 4
+	eng, m := newTestMgr(t, cfg)
+	tn := NewTenant(m, 0, []int{0}, 64)
+	// Overwrite the same 4 LPNs repeatedly: every filled block becomes fully
+	// invalid, so GC (erase-only) keeps reclaiming and writes never stall.
+	for round := 0; round < 40; round++ {
+		for lpn := 0; lpn < 4; lpn++ {
+			if _, ok := tn.AllocatePage(lpn, false); !ok {
+				// Let queued GC events run, then retry once.
+				eng.Run()
+				if _, ok2 := tn.AllocatePage(lpn, false); !ok2 {
+					t.Fatalf("write stalled at round %d with GC available", round)
+				}
+			}
+		}
+		eng.Run()
+	}
+	if m.Stats().Erases == 0 {
+		t.Fatal("GC never erased anything")
+	}
+	if m.Stats().GCPrograms != 0 {
+		t.Fatalf("fully-invalid victims should need no migration, got %d", m.Stats().GCPrograms)
+	}
+	// All data must still be readable.
+	for lpn := 0; lpn < 4; lpn++ {
+		if _, ok := tn.Lookup(lpn); !ok {
+			t.Fatalf("LPN %d lost after GC", lpn)
+		}
+	}
+}
+
+func TestGCMigratesValidPages(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Channels = 1
+	cfg.ChipsPerChannel = 1
+	cfg.BlocksPerChip = 8
+	cfg.PagesPerBlock = 4
+	eng, m := newTestMgr(t, cfg)
+	tn := NewTenant(m, 0, []int{0}, 64)
+	write := func(lpn int) {
+		if _, ok := tn.AllocatePage(lpn, false); !ok {
+			eng.Run()
+			if _, ok := tn.AllocatePage(lpn, false); !ok {
+				t.Fatalf("stall writing %d", lpn)
+			}
+		}
+	}
+	// Live working set that never gets overwritten...
+	live := 8
+	for lpn := 0; lpn < live; lpn++ {
+		write(lpn)
+	}
+	// ...then interleave fresh live pages with churn on LPN 0, so every
+	// victim block holds a mix of valid (fresh) and invalid (stale 0) pages
+	// and GC must migrate.
+	for round := 0; round < 12; round++ {
+		write(live + round)
+		write(0)
+		eng.Run()
+	}
+	eng.Run()
+	if m.Stats().GCPrograms == 0 {
+		t.Fatal("expected GC to migrate valid pages")
+	}
+	for lpn := 0; lpn < live+12; lpn++ {
+		if _, ok := tn.Lookup(lpn); !ok {
+			t.Fatalf("LPN %d lost after migration", lpn)
+		}
+	}
+	if st := m.Stats(); st.GCReads < st.GCPrograms {
+		t.Fatalf("every migrated page needs a read: reads=%d programs=%d", st.GCReads, st.GCPrograms)
+	}
+}
+
+// Property: after an arbitrary sequence of writes and trims, every mapped
+// LPN resolves to a distinct physical page and the per-block valid counts
+// equal the number of LPNs mapping into the block.
+func TestMappingConsistencyProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		cfg := smallConfig()
+		_, m := newTestMgr(t, cfg)
+		m.GCThreshold = 0 // isolate mapping logic from GC
+		tn := NewTenant(m, 0, []int{0, 1}, 128)
+		for _, o := range ops {
+			lpn := int(o % 128)
+			if o&0x8000 != 0 {
+				tn.Trim(lpn)
+			} else {
+				tn.AllocatePage(lpn, false) // may fail when full; fine
+			}
+		}
+		// Check 1: distinct physical pages.
+		seen := make(map[flash.PPA]int)
+		mapped := int64(0)
+		for lpn := 0; lpn < 128; lpn++ {
+			ppa, ok := tn.Lookup(lpn)
+			if !ok {
+				continue
+			}
+			mapped++
+			if prev, dup := seen[ppa]; dup {
+				t.Logf("LPNs %d and %d alias %v", prev, lpn, ppa)
+				return false
+			}
+			seen[ppa] = lpn
+		}
+		if mapped != tn.MappedPages() {
+			return false
+		}
+		// Check 2: block valid counts match mapping.
+		validByBlock := make(map[int]int)
+		for ppa := range seen {
+			validByBlock[m.blockIndex(ppa.BlockOf())]++
+		}
+		for i := range m.blocks {
+			if m.blocks[i].valid != validByBlock[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLendBlocks(t *testing.T) {
+	cfg := smallConfig()
+	_, m := newTestMgr(t, cfg)
+	NewTenant(m, 0, []int{0}, 64)
+	lent := m.LendBlocks(0, 2, 0, 7, 0.25)
+	if len(lent) != 2*cfg.ChipsPerChannel {
+		t.Fatalf("lent %d blocks, want %d", len(lent), 2*cfg.ChipsPerChannel)
+	}
+	for _, idx := range lent {
+		if m.BlockStateOf(idx) != BlockLent {
+			t.Fatalf("block %d not lent", idx)
+		}
+		if !m.BlockHarvested(idx) {
+			t.Fatal("lent block must have HBT bit set")
+		}
+	}
+	// Free count dropped accordingly.
+	perChannel := cfg.ChipsPerChannel * cfg.BlocksPerChip
+	if m.FreeBlocks(0) != perChannel-len(lent) {
+		t.Fatalf("free = %d", m.FreeBlocks(0))
+	}
+}
+
+func TestLendBlocksRespectsFloor(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Channels = 1
+	cfg.ChipsPerChannel = 1
+	cfg.BlocksPerChip = 8
+	_, m := newTestMgr(t, cfg)
+	tn := NewTenant(m, 0, []int{0}, 64)
+	// Consume blocks until only 3/8 free (37%).
+	for lpn := 0; ; lpn++ {
+		if m.FreeBlocks(0) <= 3 {
+			break
+		}
+		tn.AllocatePage(lpn%64, false)
+	}
+	// Lending 2 would leave 1/8 = 12.5% < 25%: must refuse.
+	if lent := m.LendBlocks(0, 2, 0, 1, 0.25); lent != nil {
+		t.Fatalf("lend should refuse below floor, got %d blocks", len(lent))
+	}
+	// Lending 1 leaves 2/8 = 25%: allowed.
+	if lent := m.LendBlocks(0, 1, 0, 1, 0.25); len(lent) != 1 {
+		t.Fatalf("lend of 1 should succeed, got %v", lent)
+	}
+}
+
+func TestHarvestLanesWriteOnForeignChannel(t *testing.T) {
+	cfg := smallConfig()
+	_, m := newTestMgr(t, cfg)
+	home := NewTenant(m, 0, []int{0}, 64)
+	harv := NewTenant(m, 1, []int{1}, 64)
+	_ = home
+	lent := m.LendBlocks(0, 1, 0, 3, 0.0)
+	if len(lent) == 0 {
+		t.Fatal("no blocks lent")
+	}
+	harv.AddHarvestLanes(3, lent)
+	if harv.HarvestLaneCount() != cfg.ChipsPerChannel {
+		t.Fatalf("harvest lanes = %d", harv.HarvestLaneCount())
+	}
+	chans := harv.WriteChannels()
+	if len(chans) != 2 {
+		t.Fatalf("write channels = %v, want own+harvested", chans)
+	}
+	// Writes should hit channel 0 (home's channel) some of the time.
+	hit := false
+	for lpn := 0; lpn < 16; lpn++ {
+		ppa, ok := harv.AllocatePage(lpn, false)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		if ppa.Channel == 0 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("harvester never wrote to the harvested channel")
+	}
+}
+
+func TestCloseHarvestLanesReturnsCleanBlocks(t *testing.T) {
+	cfg := smallConfig()
+	_, m := newTestMgr(t, cfg)
+	NewTenant(m, 0, []int{0}, 64)
+	// The harvester owns no channels, so its only lanes are harvest lanes
+	// and the single write below is guaranteed to dirty a lent block.
+	harv := NewTenant(m, 1, nil, 64)
+	before := m.FreeBlocks(0)
+	lent := m.LendBlocks(0, 1, 0, 5, 0.0)
+	harv.AddHarvestLanes(5, lent)
+	// Write one page so exactly one block is dirty.
+	if _, ok := harv.AllocatePage(0, false); !ok {
+		t.Fatal("harvest write failed")
+	}
+	returned := harv.CloseHarvestLanes(5)
+	if len(returned) != len(lent)-1 {
+		t.Fatalf("returned %d clean blocks, want %d", len(returned), len(lent)-1)
+	}
+	if m.FreeBlocks(0) != before-1 {
+		t.Fatalf("free on home channel = %d, want %d", m.FreeBlocks(0), before-1)
+	}
+	if harv.HarvestLaneCount() != 0 {
+		t.Fatal("harvest lanes must be gone")
+	}
+	// The dirty block is sealed for GC.
+	dirty := -1
+	for _, idx := range lent {
+		if m.BlockStateOf(idx) == BlockFull {
+			dirty = idx
+		}
+	}
+	if dirty < 0 {
+		t.Fatal("dirty block not sealed as Full")
+	}
+	if !m.BlockHarvested(dirty) {
+		t.Fatal("dirty block must keep HBT bit until erased")
+	}
+}
+
+func TestHarvestedFirstVictimSelection(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Channels = 1
+	cfg.ChipsPerChannel = 1
+	cfg.BlocksPerChip = 8
+	cfg.PagesPerBlock = 4
+	_, m := newTestMgr(t, cfg)
+	tn := NewTenant(m, 0, []int{0}, 64)
+	harv := NewTenant(m, 1, []int{}, 64)
+	// Make a regular full block with zero valid pages (cheapest victim).
+	for lpn := 0; lpn < 4; lpn++ {
+		tn.AllocatePage(lpn, false)
+	}
+	for lpn := 0; lpn < 4; lpn++ {
+		tn.AllocatePage(lpn, false) // invalidates first block
+	}
+	// Make a harvested full block with some valid pages (more expensive).
+	lent := m.LendBlocks(0, 1, 0, 2, 0.0)
+	harv.AddHarvestLanes(2, lent)
+	for lpn := 0; lpn < 4; lpn++ {
+		harv.AllocatePage(lpn, false)
+	}
+	victim := tn.pickVictim()
+	if victim < 0 {
+		t.Fatal("no victim found")
+	}
+	if !m.BlockHarvested(victim) {
+		t.Fatal("HarvestedFirst must pick the harvested block despite higher valid count")
+	}
+	m.HarvestedFirst = false
+	victim = tn.pickVictim()
+	if m.BlockHarvested(victim) {
+		t.Fatal("without HarvestedFirst the zero-valid regular block wins")
+	}
+}
+
+func TestGCErasedHookFires(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Channels = 1
+	cfg.ChipsPerChannel = 1
+	cfg.BlocksPerChip = 6
+	cfg.PagesPerBlock = 4
+	eng, m := newTestMgr(t, cfg)
+	var hookBlocks []int
+	var hookGSBs []int
+	m.OnBlockErased(func(idx, gsbID int) {
+		hookBlocks = append(hookBlocks, idx)
+		hookGSBs = append(hookGSBs, gsbID)
+	})
+	tn := NewTenant(m, 0, []int{0}, 64)
+	for round := 0; round < 30; round++ {
+		for lpn := 0; lpn < 4; lpn++ {
+			if _, ok := tn.AllocatePage(lpn, false); !ok {
+				eng.Run()
+				tn.AllocatePage(lpn, false)
+			}
+		}
+		eng.Run()
+	}
+	if len(hookBlocks) == 0 {
+		t.Fatal("erase hook never fired")
+	}
+	for _, g := range hookGSBs {
+		if g != -1 {
+			t.Fatalf("regular block erased with gsb id %d", g)
+		}
+	}
+}
+
+func TestPrefill(t *testing.T) {
+	cfg := smallConfig()
+	_, m := newTestMgr(t, cfg)
+	tn := NewTenant(m, 0, []int{0, 1}, 256)
+	rng := sim.NewRNG(1)
+	if err := tn.Prefill(0.5, 0.25, rng); err != nil {
+		t.Fatal(err)
+	}
+	if tn.MappedPages() != 128 {
+		t.Fatalf("mapped = %d, want 128", tn.MappedPages())
+	}
+	if tn.FreeFraction() >= 1.0 {
+		t.Fatal("prefill consumed no blocks")
+	}
+	if err := tn.Prefill(2, 0, rng); err == nil {
+		t.Fatal("out-of-range fraction must error")
+	}
+}
+
+func TestSetChannelsSealsDroppedLanes(t *testing.T) {
+	cfg := smallConfig()
+	_, m := newTestMgr(t, cfg)
+	m.GCThreshold = 0
+	tn := NewTenant(m, 0, []int{0, 1}, 256)
+	for lpn := 0; lpn < 4; lpn++ {
+		tn.AllocatePage(lpn, false)
+	}
+	tn.SetChannels([]int{1})
+	// No open blocks may remain on channel 0.
+	for i := range m.blocks {
+		b := &m.blocks[i]
+		if b.id.Channel == 0 && b.state == BlockOpen {
+			t.Fatal("dropped lane left an open block")
+		}
+	}
+	// New writes go only to channel 1.
+	for lpn := 10; lpn < 20; lpn++ {
+		ppa, ok := tn.AllocatePage(lpn, false)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		if ppa.Channel != 0 && ppa.Channel != 1 {
+			t.Fatal("bogus channel")
+		}
+		if ppa.Channel == 0 {
+			t.Fatal("write landed on dropped channel")
+		}
+	}
+	// Old data is still readable.
+	if _, ok := tn.Lookup(0); !ok {
+		t.Fatal("data lost after channel change")
+	}
+	// Growing back works too.
+	tn.SetChannels([]int{0, 1})
+	seen0 := false
+	for lpn := 30; lpn < 40; lpn++ {
+		ppa, _ := tn.AllocatePage(lpn, false)
+		if ppa.Channel == 0 {
+			seen0 = true
+		}
+	}
+	if !seen0 {
+		t.Fatal("re-added channel unused")
+	}
+}
+
+func TestWriteAmplificationIdentity(t *testing.T) {
+	var s Stats
+	if s.WriteAmplification() != 1 {
+		t.Fatal("WA of nothing must be 1")
+	}
+	s.HostPrograms = 100
+	s.GCPrograms = 25
+	if got := s.WriteAmplification(); got != 1.25 {
+		t.Fatalf("WA = %v, want 1.25", got)
+	}
+}
+
+func TestTenantIDOrderEnforced(t *testing.T) {
+	_, m := newTestMgr(t, smallConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order tenant id must panic")
+		}
+	}()
+	NewTenant(m, 5, []int{0}, 64)
+}

@@ -1,0 +1,657 @@
+package ftl
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+	"repro/internal/sim"
+)
+
+// lane is one (channel, chip) write frontier. Own lanes refill themselves
+// from the channel free pool; harvest lanes drain a fixed backlog of lent
+// gSB blocks and close when it is exhausted.
+type lane struct {
+	ch, chip int
+	active   int // block index, -1 when none
+	backlog  []int
+	own      bool // refills from the free pool
+	gsb      int  // gSB id for harvest lanes, -1 otherwise
+	closed   bool
+}
+
+// Tenant is the per-vSSD FTL: an LPN→PPA map, write lanes, and a GC state
+// machine. LPNs are page-sized logical addresses local to the tenant.
+type Tenant struct {
+	mgr *Manager
+	id  int
+	// channels this tenant may allocate its own blocks from.
+	channels []int
+	// l2p maps LPN -> block index + page, encoded as int64
+	// (blockIdx<<16 | page), or -1 when unmapped.
+	l2p []int64
+
+	lanes  []*lane
+	cursor int
+	// gcLanes are dedicated write frontiers for GC migration (one per
+	// owned channel). They may allocate from the reserved blocks and are
+	// never written by host traffic, so collection always has somewhere to
+	// put valid data and can't be starved by the host racing it for pages.
+	gcLanes  []*lane
+	gcCursor int
+
+	logicalPages int
+
+	// GC state.
+	gcJobs    int
+	gcVictims int64
+	// gcTarget, when above the manager threshold, makes GC keep collecting
+	// until the free fraction reaches it. The gSB manager raises it for
+	// tenants that are lending blocks so the §3.6 free floor stays
+	// satisfiable and harvesting supply doesn't starve.
+	gcTarget float64
+
+	// Fraction of logical pages currently mapped (for capacity stats).
+	mappedPages int64
+
+	stats Stats
+}
+
+// NewTenant registers a tenant with id (must equal len(mgr.Tenants()))
+// owning the given channels and a logical space of logicalPages pages.
+func NewTenant(mgr *Manager, id int, channels []int, logicalPages int) *Tenant {
+	if id != len(mgr.tenants) {
+		panic(fmt.Sprintf("ftl: tenant id %d out of order (have %d)", id, len(mgr.tenants)))
+	}
+	if logicalPages <= 0 {
+		panic("ftl: non-positive logical size")
+	}
+	t := &Tenant{
+		mgr:          mgr,
+		id:           id,
+		channels:     append([]int(nil), channels...),
+		l2p:          make([]int64, logicalPages),
+		logicalPages: logicalPages,
+	}
+	for i := range t.l2p {
+		t.l2p[i] = -1
+	}
+	for _, ch := range channels {
+		for chip := 0; chip < mgr.cfg.ChipsPerChannel; chip++ {
+			t.lanes = append(t.lanes, &lane{ch: ch, chip: chip, active: -1, own: true, gsb: -1})
+		}
+		t.gcLanes = append(t.gcLanes, &lane{ch: ch, chip: 0, active: -1, own: true, gsb: -1})
+	}
+	mgr.tenants = append(mgr.tenants, t)
+	return t
+}
+
+// ID returns the tenant id.
+func (t *Tenant) ID() int { return t.id }
+
+// Channels returns the channels the tenant allocates its own blocks from.
+func (t *Tenant) Channels() []int { return t.channels }
+
+// LogicalPages returns the tenant's logical capacity in pages.
+func (t *Tenant) LogicalPages() int { return t.logicalPages }
+
+// MappedPages returns how many logical pages currently hold data.
+func (t *Tenant) MappedPages() int64 { return t.mappedPages }
+
+// InGC reports whether a GC job is currently running for this tenant —
+// the In_GC bit of the RL state.
+func (t *Tenant) InGC() bool { return t.gcJobs > 0 }
+
+// GCRuns returns the number of victim blocks collected so far.
+func (t *Tenant) GCRuns() int64 { return t.gcVictims }
+
+// SetGCTarget raises (or clears, with 0) the tenant's free-fraction goal.
+func (t *Tenant) SetGCTarget(frac float64) {
+	t.gcTarget = frac
+	t.maybeGC()
+}
+
+// Stats returns this tenant's program/erase accounting.
+func (t *Tenant) Stats() Stats { return t.stats }
+
+// FreeFraction returns the free-block fraction over the tenant's channels.
+func (t *Tenant) FreeFraction() float64 { return t.mgr.FreeFraction(t.channels) }
+
+// SetChannels replaces the tenant's owned channel set (used by the
+// Adaptive and SSDKeeper baselines that re-partition channels). Lanes for
+// removed channels are closed; lanes for added channels are created.
+func (t *Tenant) SetChannels(channels []int) {
+	t.channels = append([]int(nil), channels...)
+	inSet := make(map[int]bool, len(channels))
+	for _, ch := range channels {
+		inSet[ch] = true
+	}
+	kept := t.lanes[:0]
+	have := make(map[int]bool)
+	for _, ln := range t.lanes {
+		if !ln.own {
+			kept = append(kept, ln)
+			continue
+		}
+		if inSet[ln.ch] {
+			kept = append(kept, ln)
+			have[ln.ch] = true
+			continue
+		}
+		// Dropped own lane: seal its open block so GC can reclaim it; the
+		// mapped data stays readable until overwritten or collected.
+		if ln.active >= 0 {
+			t.mgr.blocks[ln.active].state = BlockFull
+			ln.active = -1
+		}
+	}
+	t.lanes = kept
+	for _, ch := range channels {
+		if !have[ch] {
+			for chip := 0; chip < t.mgr.cfg.ChipsPerChannel; chip++ {
+				t.lanes = append(t.lanes, &lane{ch: ch, chip: chip, active: -1, own: true, gsb: -1})
+			}
+		}
+	}
+	if t.cursor >= len(t.lanes) {
+		t.cursor = 0
+	}
+	// Rebuild the GC frontiers the same way.
+	keptGC := t.gcLanes[:0]
+	haveGC := make(map[int]bool)
+	for _, ln := range t.gcLanes {
+		if inSet[ln.ch] {
+			keptGC = append(keptGC, ln)
+			haveGC[ln.ch] = true
+			continue
+		}
+		if ln.active >= 0 {
+			t.mgr.blocks[ln.active].state = BlockFull
+			ln.active = -1
+		}
+	}
+	t.gcLanes = keptGC
+	for _, ch := range channels {
+		if !haveGC[ch] {
+			t.gcLanes = append(t.gcLanes, &lane{ch: ch, chip: 0, active: -1, own: true, gsb: -1})
+		}
+	}
+	if t.gcCursor >= len(t.gcLanes) {
+		t.gcCursor = 0
+	}
+}
+
+// AddHarvestLanes attaches the lent blocks of a harvested gSB as write
+// lanes. Blocks are grouped by (channel, chip).
+func (t *Tenant) AddHarvestLanes(gsbID int, blocks []int) {
+	group := make(map[[2]int][]int)
+	var order [][2]int
+	for _, idx := range blocks {
+		b := &t.mgr.blocks[idx]
+		if b.state != BlockLent {
+			panic(fmt.Sprintf("ftl: harvesting non-lent block %v (state %d)", b.id, b.state))
+		}
+		b.user = t.id
+		key := [2]int{b.id.Channel, b.id.Chip}
+		if _, seen := group[key]; !seen {
+			order = append(order, key)
+		}
+		group[key] = append(group[key], idx)
+	}
+	for _, key := range order {
+		t.lanes = append(t.lanes, &lane{
+			ch: key[0], chip: key[1], active: -1,
+			backlog: group[key], own: false, gsb: gsbID,
+		})
+	}
+}
+
+// CloseHarvestLanes stops new writes into the given gSB's lanes and
+// returns still-clean backlog blocks to the manager (they go back to the
+// home pool). Blocks already written remain until GC reclaims them.
+func (t *Tenant) CloseHarvestLanes(gsbID int) (cleanReturned []int) {
+	kept := t.lanes[:0]
+	for _, ln := range t.lanes {
+		if ln.gsb != gsbID {
+			kept = append(kept, ln)
+			continue
+		}
+		for _, idx := range ln.backlog {
+			b := &t.mgr.blocks[idx]
+			b.user = -1
+			t.mgr.ReturnCleanBlock(idx)
+			cleanReturned = append(cleanReturned, idx)
+		}
+		if ln.active >= 0 {
+			// A partially written block: seal it so GC can reclaim it.
+			b := &t.mgr.blocks[ln.active]
+			if b.writePtr == 0 {
+				b.user = -1
+				t.mgr.ReturnCleanBlock(ln.active)
+				cleanReturned = append(cleanReturned, ln.active)
+			} else {
+				b.state = BlockFull
+			}
+		}
+	}
+	t.lanes = kept
+	if t.cursor >= len(t.lanes) && len(t.lanes) > 0 {
+		t.cursor = 0
+	}
+	return cleanReturned
+}
+
+// HarvestLaneCount returns how many open harvest lanes the tenant has.
+func (t *Tenant) HarvestLaneCount() int {
+	n := 0
+	for _, ln := range t.lanes {
+		if !ln.own && !ln.closed {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteChannels returns the distinct channels the tenant can currently
+// write to (own + harvested), i.e. its effective bandwidth footprint.
+func (t *Tenant) WriteChannels() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, ln := range t.lanes {
+		if ln.closed {
+			continue
+		}
+		if !seen[ln.ch] {
+			seen[ln.ch] = true
+			out = append(out, ln.ch)
+		}
+	}
+	return out
+}
+
+// openLane ensures the lane has an open block, pulling from its backlog or
+// the channel free pool. Reports false when the lane is (now) closed or
+// allocation failed.
+func (t *Tenant) openLane(ln *lane, forGC bool) bool {
+	if ln.closed {
+		return false
+	}
+	if ln.active >= 0 {
+		return true
+	}
+	if ln.own {
+		idx, ok := t.mgr.allocBlock(ln.ch, ln.chip, forGC)
+		if !ok {
+			return false
+		}
+		b := &t.mgr.blocks[idx]
+		b.state = BlockOpen
+		b.owner = t.id
+		b.user = t.id
+		b.writePtr = 0
+		b.valid = 0
+		t.initBlockPages(b)
+		ln.active = idx
+		return true
+	}
+	// Harvest lane: pop the backlog.
+	for len(ln.backlog) > 0 {
+		idx := ln.backlog[0]
+		ln.backlog = ln.backlog[1:]
+		b := &t.mgr.blocks[idx]
+		if b.state != BlockLent {
+			continue
+		}
+		b.state = BlockOpen
+		b.user = t.id
+		b.writePtr = 0
+		b.valid = 0
+		t.initBlockPages(b)
+		ln.active = idx
+		return true
+	}
+	ln.closed = true
+	return false
+}
+
+func (t *Tenant) initBlockPages(b *blockInfo) {
+	n := t.mgr.cfg.PagesPerBlock
+	b.pageTenant = make([]int32, n)
+	b.pageLPN = make([]int32, n)
+	for i := range b.pageTenant {
+		b.pageTenant[i] = invalidPPA
+	}
+}
+
+// AllocatePage maps lpn to a fresh physical page and returns its address.
+// The old mapping (if any) is invalidated. forGC allocations may use the
+// reserved blocks. ok is false when no space is available anywhere (the
+// caller should back off and let GC run).
+func (t *Tenant) AllocatePage(lpn int, forGC bool) (flash.PPA, bool) {
+	if lpn < 0 || lpn >= t.logicalPages {
+		panic(fmt.Sprintf("ftl: LPN %d out of range [0,%d)", lpn, t.logicalPages))
+	}
+	// GC migration writes go to the dedicated GC frontiers (which may use
+	// the reserve); host writes use the regular striped lanes. A tenant
+	// with no owned channels (pure harvester) falls back to its harvest
+	// lanes for GC traffic.
+	lanes, cursor := t.lanes, &t.cursor
+	if forGC && len(t.gcLanes) > 0 {
+		lanes, cursor = t.gcLanes, &t.gcCursor
+	}
+	if len(lanes) == 0 {
+		return flash.PPA{}, false
+	}
+	for tries := 0; tries < len(lanes); tries++ {
+		if *cursor >= len(lanes) {
+			*cursor = 0
+		}
+		ln := lanes[*cursor]
+		*cursor = (*cursor + 1) % len(lanes)
+		if !t.openLane(ln, forGC) {
+			continue
+		}
+		b := &t.mgr.blocks[ln.active]
+		page := b.writePtr
+		b.writePtr++
+		t.invalidate(lpn)
+		b.pageTenant[page] = int32(t.id)
+		b.pageLPN[page] = int32(lpn)
+		b.valid++
+		t.l2p[lpn] = int64(ln.active)<<16 | int64(page)
+		t.mappedPages++
+		if b.writePtr == t.mgr.cfg.PagesPerBlock {
+			b.state = BlockFull
+			ln.active = -1
+		}
+		t.maybeGC()
+		return flash.PPA{Channel: b.id.Channel, Chip: b.id.Chip, Block: b.id.Block, Page: page}, true
+	}
+	t.maybeGC()
+	return flash.PPA{}, false
+}
+
+// Lookup returns the physical address of lpn's data.
+func (t *Tenant) Lookup(lpn int) (flash.PPA, bool) {
+	if lpn < 0 || lpn >= t.logicalPages {
+		return flash.PPA{}, false
+	}
+	enc := t.l2p[lpn]
+	if enc < 0 {
+		return flash.PPA{}, false
+	}
+	idx := int(enc >> 16)
+	page := int(enc & 0xFFFF)
+	id := t.mgr.blocks[idx].id
+	return flash.PPA{Channel: id.Channel, Chip: id.Chip, Block: id.Block, Page: page}, true
+}
+
+// Trim unmaps lpn, invalidating its physical page.
+func (t *Tenant) Trim(lpn int) {
+	if lpn < 0 || lpn >= t.logicalPages {
+		return
+	}
+	if t.l2p[lpn] >= 0 {
+		t.invalidate(lpn)
+		t.l2p[lpn] = -1
+	}
+}
+
+// invalidate clears the physical page currently backing lpn (if any)
+// without touching the l2p entry; callers overwrite or reset it.
+func (t *Tenant) invalidate(lpn int) {
+	enc := t.l2p[lpn]
+	if enc < 0 {
+		return
+	}
+	idx := int(enc >> 16)
+	page := int(enc & 0xFFFF)
+	b := &t.mgr.blocks[idx]
+	if b.pageTenant[page] == int32(t.id) && b.pageLPN[page] == int32(lpn) {
+		b.pageTenant[page] = invalidPPA
+		b.valid--
+		t.mappedPages--
+	}
+}
+
+// maybeGC starts GC jobs when the tenant's channel set runs low on free
+// blocks — below the lazy threshold fraction, or close enough to the host
+// allocation reserve that writes are about to stall (which matters on the
+// small devices used in tests). Up to GCConcurrency victims are collected
+// in parallel; jobs re-arm themselves on completion.
+func (t *Tenant) maybeGC() {
+	if t.mgr.eng == nil || t.mgr.GCThreshold <= 0 {
+		return
+	}
+	conc := t.mgr.GCConcurrency
+	if conc < 1 {
+		conc = 1
+	}
+	for t.gcJobs < conc {
+		free := 0
+		for _, ch := range t.channels {
+			free += t.mgr.freeCount[ch]
+		}
+		nearReserve := len(t.channels) > 0 && free <= (t.mgr.GCReserve+1)*len(t.channels)
+		goal := t.mgr.GCThreshold
+		if t.gcTarget > goal {
+			goal = t.gcTarget
+		}
+		if t.FreeFraction() > goal && !nearReserve {
+			return
+		}
+		victim := t.pickVictim()
+		if victim < 0 {
+			return
+		}
+		t.mgr.blocks[victim].state = BlockGC
+		t.gcJobs++
+		t.mgr.stats.GCRuns++
+		t.gcVictims++
+		t.collect(victim)
+	}
+}
+
+// gcPriority escalates collection above host traffic when free space is
+// critically low; otherwise GC runs strictly in the background.
+func (t *Tenant) gcPriority() int {
+	if t.FreeFraction() < t.mgr.GCThreshold*0.6 {
+		return PriorityHigh + 1
+	}
+	return PriorityGC
+}
+
+// pickVictim chooses the best Full block owned by this tenant: with
+// HarvestedFirst, harvested/reclaimed blocks are strictly preferred (the
+// §3.7 policy); ties and the rest order by fewest valid pages.
+func (t *Tenant) pickVictim() int {
+	best := -1
+	bestKey := [2]int{1 << 30, 1 << 30}
+	for i := range t.mgr.blocks {
+		b := &t.mgr.blocks[i]
+		if b.state != BlockFull || b.owner != t.id {
+			continue
+		}
+		// A fully valid regular block yields no free pages; collecting it
+		// would be pure write amplification (and can livelock GC
+		// re-arming). A fully valid *harvested* block is still worth
+		// collecting: its data migrates into the harvester's own space and
+		// the block returns to this tenant's pool.
+		if b.valid >= t.mgr.cfg.PagesPerBlock && !b.harvested {
+			continue
+		}
+		class := 1
+		if t.mgr.HarvestedFirst && b.harvested {
+			class = 0
+		}
+		key := [2]int{class, b.valid}
+		if key[0] < bestKey[0] || (key[0] == bestKey[0] && key[1] < bestKey[1]) {
+			bestKey = key
+			best = i
+		}
+	}
+	return best
+}
+
+// collect migrates the victim's valid pages (reads + re-programs through
+// the data owner's allocator, which lands harvested data in the
+// harvester's own space per §3.7) and then erases it. Migrations are
+// pipelined up to GCPipeline pages deep, and the whole job escalates above
+// host priority when free space is critically low.
+func (t *Tenant) collect(victim int) {
+	b := &t.mgr.blocks[victim]
+	pages := make([]int, 0, b.valid)
+	for p := 0; p < b.writePtr; p++ {
+		if b.pageTenant[p] != invalidPPA {
+			pages = append(pages, p)
+		}
+	}
+	width := t.mgr.GCPipeline
+	if width < 1 {
+		width = 1
+	}
+	next := 0
+	outstanding := 0
+	var launch func()
+	finish := func() {
+		outstanding--
+		if next >= len(pages) && outstanding == 0 {
+			t.eraseVictim(victim)
+			return
+		}
+		launch()
+	}
+	migrate := func(p int) {
+		id := b.id
+		t.mgr.stats.GCReads++
+		// Priority is re-evaluated per operation so a job started in the
+		// background escalates once free space turns critical.
+		t.mgr.Submit(&flash.Op{
+			Kind:     flash.OpRead,
+			Addr:     flash.PPA{Channel: id.Channel, Chip: id.Chip, Block: id.Block, Page: p},
+			Tenant:   t.id,
+			Priority: t.gcPriority(),
+			Done: func(sim.Time) {
+				// The page may have been invalidated by a host overwrite
+				// racing the migration.
+				if b.pageTenant[p] == invalidPPA {
+					finish()
+					return
+				}
+				dataTenant := t.mgr.tenants[b.pageTenant[p]]
+				lpn := int(b.pageLPN[p])
+				// Retry allocation until space exists (only a pathologically
+				// full device ever waits here) — the victim must never be
+				// erased while it still holds valid data.
+				var tryProgram func()
+				tryProgram = func() {
+					if b.pageTenant[p] == invalidPPA {
+						finish()
+						return
+					}
+					if dst, ok := dataTenant.AllocatePage(lpn, true); ok {
+						t.programMigrated(dataTenant, dst, t.gcPriority(), finish)
+						return
+					}
+					t.mgr.eng.Schedule(sim.Millisecond, tryProgram)
+				}
+				tryProgram()
+			},
+		})
+	}
+	launch = func() {
+		for outstanding < width && next < len(pages) {
+			p := pages[next]
+			next++
+			if b.pageTenant[p] == invalidPPA {
+				continue
+			}
+			outstanding++
+			migrate(p)
+		}
+	}
+	launch()
+	if outstanding == 0 {
+		t.eraseVictim(victim)
+	}
+}
+
+func (t *Tenant) programMigrated(dataTenant *Tenant, dst flash.PPA, prio int, done func()) {
+	t.mgr.stats.GCPrograms++
+	dataTenant.stats.GCPrograms++
+	t.mgr.Submit(&flash.Op{
+		Kind:     flash.OpProgram,
+		Addr:     dst,
+		Tenant:   dataTenant.id,
+		Priority: prio,
+		Done:     func(sim.Time) { done() },
+	})
+}
+
+// eraseVictim erases the (now fully invalid) victim and returns it to the
+// free pool, clearing the HBT bit (§3.7: "blocks are marked as regular
+// after erased by GC").
+func (t *Tenant) eraseVictim(victim int) {
+	b := &t.mgr.blocks[victim]
+	id := b.id
+	t.mgr.stats.Erases++
+	t.stats.Erases++
+	t.mgr.Submit(&flash.Op{
+		Kind:     flash.OpErase,
+		Addr:     flash.PPA{Channel: id.Channel, Chip: id.Chip, Block: id.Block},
+		Tenant:   t.id,
+		Priority: PriorityGC,
+		Done: func(sim.Time) {
+			gsbID := b.gsb
+			t.mgr.releaseBlock(victim)
+			if t.mgr.onBlockErased != nil {
+				t.mgr.onBlockErased(victim, gsbID)
+			}
+			t.gcJobs--
+			t.maybeGC()
+		},
+	})
+}
+
+// RecordHostProgram bumps host-write accounting (called by the vSSD layer
+// when it submits a host program for this tenant).
+func (t *Tenant) RecordHostProgram() {
+	t.stats.HostPrograms++
+	t.mgr.stats.HostPrograms++
+}
+
+// Prefill maps fillFrac of the logical space instantly (no simulated I/O),
+// overwriting overwriteFrac of what it wrote so GC has invalid pages to
+// reclaim. It mirrors the paper's warm-up ("consume at least 50% of the
+// free blocks").
+func (t *Tenant) Prefill(fillFrac, overwriteFrac float64, rng *sim.RNG) error {
+	if fillFrac < 0 || fillFrac > 1 || overwriteFrac < 0 || overwriteFrac > 1 {
+		return fmt.Errorf("ftl: prefill fractions out of range")
+	}
+	// Prefill happens at setup time, before workloads are scheduled, so it
+	// may drain the engine to let GC reclaim space when allocation stalls.
+	alloc := func(lpn int) error {
+		if _, ok := t.AllocatePage(lpn, false); ok {
+			return nil
+		}
+		for try := 0; try < 64; try++ {
+			t.mgr.eng.Run()
+			if _, ok := t.AllocatePage(lpn, false); ok {
+				return nil
+			}
+		}
+		return fmt.Errorf("ftl: prefill ran out of space at lpn %d", lpn)
+	}
+	n := int(float64(t.logicalPages) * fillFrac)
+	for lpn := 0; lpn < n; lpn++ {
+		if err := alloc(lpn); err != nil {
+			return err
+		}
+	}
+	rewrites := int(float64(n) * overwriteFrac)
+	for i := 0; i < rewrites; i++ {
+		if err := alloc(rng.Intn(n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package gsb
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/lockfree"
+)
+
+// The pool's lock-free list must tolerate concurrent harvest contention:
+// many goroutines racing RemoveFirst against pushes, with no gSB handed to
+// two harvesters (the paper's motivation for the Harris list).
+func TestPoolConcurrentHarvestNoDoubleGrant(t *testing.T) {
+	var pool lockfree.List[*GSB]
+	const n = 2000
+	for i := 0; i < n; i++ {
+		pool.PushFront(&GSB{ID: i, NChls: 1, Home: 0, Harvest: -1})
+	}
+	var mu sync.Mutex
+	granted := make(map[int]int)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				g, ok := pool.RemoveFirst(func(x *GSB) bool { return x.Home != 99 })
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if prev, dup := granted[g.ID]; dup {
+					mu.Unlock()
+					t.Errorf("gSB %d granted to both %d and %d", g.ID, prev, w)
+					return
+				}
+				granted[g.ID] = w
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(granted) != n {
+		t.Fatalf("granted %d of %d gSBs", len(granted), n)
+	}
+}
+
+func TestPoolScanSkipsHarvested(t *testing.T) {
+	var pool lockfree.List[*GSB]
+	a := &GSB{ID: 1, NChls: 2}
+	b := &GSB{ID: 2, NChls: 2}
+	pool.PushFront(a)
+	pool.PushFront(b)
+	pool.RemoveFirst(func(x *GSB) bool { return x == b })
+	count := 0
+	pool.Scan(func(g *GSB) bool {
+		if g == b {
+			t.Fatal("removed gSB still visible")
+		}
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Fatalf("scan saw %d live gSBs", count)
+	}
+}

@@ -1,0 +1,545 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/rl"
+	"repro/internal/sim"
+	"repro/internal/vssd"
+	"repro/internal/workload"
+)
+
+// PairGrid runs every evaluation pair under the given policies, reusing
+// one calibration per pair. It is the data source for Figures 2, 3, 10,
+// 11, 12, 13, and 15.
+func PairGrid(kinds []PolicyKind, opt Options) map[string][]Result {
+	out := make(map[string][]Result)
+	for _, mix := range EvalPairs() {
+		out[mix.Label] = Compare(mix, kinds, opt)
+	}
+	return out
+}
+
+func find(results []Result, policy string) Result {
+	for _, r := range results {
+		if r.Policy == policy {
+			return r
+		}
+	}
+	panic("harness: policy missing from results: " + policy)
+}
+
+// Figure2 prints the §2.2 utilization study: average and P95 SSD bandwidth
+// utilization under hardware vs software isolation for the six pairs.
+func Figure2(w io.Writer, grid map[string][]Result) {
+	fmt.Fprintln(w, "Figure 2: SSD bandwidth utilization, hardware vs software isolation")
+	fmt.Fprintf(w, "%-22s %14s %14s %14s %14s\n", "pair", "HW avg%", "HW p95%", "SW avg%", "SW p95%")
+	var ratios []float64
+	for _, mix := range EvalPairs() {
+		rs := grid[mix.Label]
+		hw, sw := find(rs, "Hardware Isolation"), find(rs, "Software Isolation")
+		fmt.Fprintf(w, "%-22s %14.1f %14.1f %14.1f %14.1f\n", mix.Label,
+			hw.AvgUtil*100, hw.P95Util*100, sw.AvgUtil*100, sw.P95Util*100)
+		if hw.AvgUtil > 0 {
+			ratios = append(ratios, sw.AvgUtil/hw.AvgUtil)
+		}
+	}
+	fmt.Fprintf(w, "software/hardware avg-util ratio: max %.2fx, mean %.2fx (paper: up to 1.52x, 1.39x avg)\n\n",
+		maxF(ratios), meanF(ratios))
+}
+
+// Figure3 prints the §2.2 per-tenant study: normalized BI bandwidth (a)
+// and normalized LS P99 (b) under software isolation relative to hardware.
+func Figure3(w io.Writer, grid map[string][]Result) {
+	fmt.Fprintln(w, "Figure 3a: bandwidth of the bandwidth-intensive workload (normalized to hardware isolation)")
+	fmt.Fprintf(w, "%-22s %14s %14s %10s\n", "pair", "HW MB/s", "SW MB/s", "SW/HW")
+	var bwr, latr []float64
+	for _, mix := range EvalPairs() {
+		rs := grid[mix.Label]
+		hw, sw := find(rs, "Hardware Isolation"), find(rs, "Software Isolation")
+		r := sw.BandwidthTenant() / hw.BandwidthTenant()
+		bwr = append(bwr, r)
+		fmt.Fprintf(w, "%-22s %14.1f %14.1f %9.2fx\n", mix.Label,
+			hw.BandwidthTenant(), sw.BandwidthTenant(), r)
+	}
+	fmt.Fprintf(w, "(paper: up to 1.84x, 1.64x avg)\n\n")
+	fmt.Fprintln(w, "Figure 3b: P99 latency of the latency-sensitive workload (normalized to hardware isolation)")
+	fmt.Fprintf(w, "%-22s %14s %14s %10s\n", "pair", "HW P99 ms", "SW P99 ms", "SW/HW")
+	for _, mix := range EvalPairs() {
+		rs := grid[mix.Label]
+		hw, sw := find(rs, "Hardware Isolation"), find(rs, "Software Isolation")
+		r := sw.LatencyTenantP99() / hw.LatencyTenantP99()
+		latr = append(latr, r)
+		fmt.Fprintf(w, "%-22s %14.2f %14.2f %9.2fx\n", mix.Label,
+			hw.LatencyTenantP99(), sw.LatencyTenantP99(), r)
+	}
+	fmt.Fprintf(w, "(paper: up to 2.02x higher tail latency)\n\n")
+}
+
+// Figure6 trains the workload-type clusters, prints the PCA scatter data,
+// cluster membership, and the train/test accuracy (paper: 98.4%).
+func Figure6(w io.Writer) {
+	ds := cluster.BuildDataset(workload.Names(), 8, 2000, 16<<10, 42)
+	train, test := ds.Split(0.7)
+	m, _ := TypeModel()
+	acc := m.Accuracy(test)
+	_ = train
+	fmt.Fprintln(w, "Figure 6: workload clustering (k-means on 4 trace features, PCA projection)")
+	for c, wls := range m.ClusterWorkloads {
+		fmt.Fprintf(w, "  cluster %d: %v\n", c, wls)
+	}
+	// PCA coordinates of the full dataset for plotting.
+	raw := make([][]float64, len(ds.Samples))
+	for i, s := range ds.Samples {
+		raw[i] = s.Features
+	}
+	scaled, _, _ := cluster.Standardize(raw)
+	proj, _ := cluster.PCA2(scaled, sim.NewRNG(5))
+	centroid := map[string][2]float64{}
+	count := map[string]int{}
+	for i, p := range proj {
+		wl := ds.Samples[i].Workload
+		c := centroid[wl]
+		c[0] += p[0]
+		c[1] += p[1]
+		centroid[wl] = c
+		count[wl]++
+	}
+	fmt.Fprintf(w, "%-16s %10s %10s\n", "workload", "factor1", "factor2")
+	for _, wl := range workload.Names() {
+		c := centroid[wl]
+		n := float64(count[wl])
+		fmt.Fprintf(w, "%-16s %10.2f %10.2f\n", wl, c[0]/n, c[1]/n)
+	}
+	fmt.Fprintf(w, "test clustering accuracy: %.1f%% (paper: 98.4%%)\n\n", acc*100)
+}
+
+// Figures10to13 prints the main evaluation: the utilization/latency
+// tradeoff (Fig 10), per-pair utilization (Fig 11), normalized P99
+// (Fig 12), and normalized BI bandwidth (Fig 13) for all five policies.
+func Figures10to13(w io.Writer, grid map[string][]Result) {
+	pols := AllPolicies()
+	fmt.Fprintln(w, "Figure 10: utilization improvement (x, vs Hardware Isolation) vs normalized P99 (y)")
+	fmt.Fprintf(w, "%-22s", "pair")
+	for _, p := range pols {
+		fmt.Fprintf(w, " %26s", p.String())
+	}
+	fmt.Fprintln(w)
+	for _, mix := range EvalPairs() {
+		rs := grid[mix.Label]
+		hw := find(rs, "Hardware Isolation")
+		fmt.Fprintf(w, "%-22s", mix.Label)
+		for _, p := range pols {
+			r := find(rs, p.String())
+			fmt.Fprintf(w, "   (%5.2fx util, %5.2fx P99)",
+				r.AvgUtil/hw.AvgUtil, r.LatencyTenantP99()/hw.LatencyTenantP99())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(paper: FleetIO ≥1.30x util over HW and ≤1.2x of HW P99; SW/Adaptive 1.76-2.03x P99)")
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Figure 11: SSD bandwidth utilization (%)")
+	printMetric(w, grid, pols, func(r Result) float64 { return r.AvgUtil * 100 }, "%14.1f")
+	fmt.Fprintln(w, "Figure 12: P99 latency of the latency-sensitive workload (ms)")
+	printMetric(w, grid, pols, func(r Result) float64 { return r.LatencyTenantP99() }, "%14.2f")
+	fmt.Fprintln(w, "Figure 13: bandwidth of the bandwidth-intensive workload (MB/s)")
+	printMetric(w, grid, pols, func(r Result) float64 { return r.BandwidthTenant() }, "%14.1f")
+}
+
+func printMetric(w io.Writer, grid map[string][]Result, pols []PolicyKind,
+	metric func(Result) float64, cellFmt string) {
+	fmt.Fprintf(w, "%-22s", "pair")
+	for _, p := range pols {
+		fmt.Fprintf(w, " %14s", shorten(p.String()))
+	}
+	fmt.Fprintln(w)
+	for _, mix := range EvalPairs() {
+		rs := grid[mix.Label]
+		fmt.Fprintf(w, "%-22s", mix.Label)
+		for _, p := range pols {
+			fmt.Fprintf(w, " "+cellFmt, metric(find(rs, p.String())))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+func shorten(s string) string {
+	switch s {
+	case "Hardware Isolation":
+		return "HardwareIso"
+	case "Software Isolation":
+		return "SoftwareIso"
+	case "FleetIO-Unified-Global":
+		return "FIO-UnifGlob"
+	case "FleetIO-Customized-Local":
+		return "FIO-CustLoc"
+	default:
+		return s
+	}
+}
+
+// Figure14 prints the scalability study over the Table 5 mixes.
+func Figure14(w io.Writer, opt Options) {
+	pols := AllPolicies()
+	fmt.Fprintln(w, "Figure 14: scalability over Table 5 mixes (2/4/8 vSSDs)")
+	fmt.Fprintf(w, "%-8s %-7s", "mix", "vSSDs")
+	for _, p := range pols {
+		fmt.Fprintf(w, " %14s", shorten(p.String()))
+	}
+	fmt.Fprintln(w, "   (util%% | LS P99 norm | BI BW norm)")
+	for _, mix := range Table5Mixes() {
+		rs := Compare(mix, pols, opt)
+		hw := find(rs, "Hardware Isolation")
+		fmt.Fprintf(w, "%-8s %-7d", mix.Label, len(mix.Workloads))
+		for _, p := range pols {
+			r := find(rs, p.String())
+			fmt.Fprintf(w, "  %5.1f|%4.2f|%4.2f",
+				r.AvgUtil*100,
+				r.LatencyTenantP99()/hw.LatencyTenantP99(),
+				r.BandwidthTenant()/hw.BandwidthTenant())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(paper: FleetIO 1.33x/1.18x util over HW at 4/8 vSSDs, ≤1.1x HW P99, ≥1.25x BI BW)")
+	fmt.Fprintln(w)
+}
+
+// Figure15 prints the reward-function ablation: FleetIO vs Unified-Global
+// (one α for all) vs Customized-Local (β=1).
+func Figure15(w io.Writer, opt Options) {
+	kinds := []PolicyKind{PolHardware, PolFleetIOCustomizedLocal, PolFleetIOUnifiedGlobal, PolFleetIO, PolSoftware}
+	fmt.Fprintln(w, "Figure 15: reward ablation — utilization (%) and LS P99 (ms)")
+	fmt.Fprintf(w, "%-22s", "pair")
+	for _, p := range kinds {
+		fmt.Fprintf(w, " %14s", shorten(p.String()))
+	}
+	fmt.Fprintln(w)
+	for _, mix := range EvalPairs() {
+		rs := Compare(mix, kinds, opt)
+		fmt.Fprintf(w, "%-22s", mix.Label)
+		for _, p := range kinds {
+			r := find(rs, p.String())
+			fmt.Fprintf(w, "  %5.1f%%/%5.2f", r.AvgUtil*100, r.LatencyTenantP99())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(paper: Customized-Local ≈ Hardware Isolation — no harvest incentive without β;")
+	fmt.Fprintln(w, " Unified-Global inconsistent across pairs; FleetIO best of both)")
+	fmt.Fprintln(w)
+}
+
+// Figure16Result holds the mixed-isolation experiment numbers.
+type Figure16Result struct {
+	Policy  string
+	AvgUtil float64
+	LSP99Ms float64
+	BIMBps  float64
+}
+
+// Figure16 runs mix3 with mixed isolation: two VDI-Web on 4-channel
+// hardware-isolated vSSDs, two TeraSort sharing an 8-channel
+// software-isolated pool.
+func Figure16(w io.Writer, opt Options) []Figure16Result {
+	fmt.Fprintln(w, "Figure 16: mixed hardware- and software-isolated vSSDs (mix3)")
+	var out []Figure16Result
+	for _, kind := range []PolicyKind{PolHardware, PolSoftware, PolFleetIO} {
+		res := runMixedIsolation(kind, opt)
+		label := kind.String()
+		if kind == PolHardware {
+			label = "Mixed Isolation"
+		}
+		out = append(out, Figure16Result{
+			Policy:  label,
+			AvgUtil: res.AvgUtil,
+			LSP99Ms: res.LatencyTenantP99(),
+			BIMBps:  res.BandwidthTenant(),
+		})
+		fmt.Fprintf(w, "%-18s util=%5.1f%%  LS P99=%6.2fms  BI BW=%7.1f MB/s\n",
+			label, res.AvgUtil*100, res.LatencyTenantP99(), res.BandwidthTenant())
+	}
+	fmt.Fprintln(w, "(paper: FleetIO 1.27x util over Mixed Isolation, ≥94% of Software Isolation's util,")
+	fmt.Fprintln(w, " 1.42x BI bandwidth, tail latency within 1.19x of Mixed Isolation)")
+	fmt.Fprintln(w)
+	return out
+}
+
+// runMixedIsolation builds the Figure 16 topology by hand.
+func runMixedIsolation(kind PolicyKind, opt Options) Result {
+	mix := MixSpec{Label: "mix3-mixed", Workloads: []string{"VDI-Web", "VDI-Web", "TeraSort", "TeraSort"}}
+	slos := Calibrate(MixSpec{Label: mix.Label, Workloads: mix.Workloads}, opt)
+
+	eng := sim.NewEngine()
+	pc := vssd.DefaultPlatformConfig()
+	pc.Flash = opt.flashConfig()
+	plat := vssd.NewPlatform(eng, pc)
+	totalPages := pc.Flash.TotalBlocks() * pc.Flash.PagesPerBlock
+	r := &run{eng: eng, plat: plat, opt: opt}
+	rng := sim.NewRNG(opt.Seed)
+	sharedPool := chanRange(8, 16)
+	for i, name := range mix.Workloads {
+		prof := workload.ByName(name)
+		cfg := vssd.Config{
+			Name:             fmt.Sprintf("%s-%d", name, i),
+			SLO:              slos[i],
+			MaxInflightPages: prof.MaxInflightPages,
+		}
+		if prof.Class == workload.Latency {
+			cfg.Isolation = vssd.HardwareIsolated
+			cfg.Channels = chanRange(i*4, i*4+4)
+		} else {
+			cfg.Isolation = vssd.SoftwareIsolated
+			cfg.Channels = sharedPool
+			cfg.LogicalPages = int(float64(totalPages) * 0.8 / 4)
+		}
+		v := plat.AddVSSD(cfg)
+		if err := v.Tenant().Prefill(opt.PrefillFrac, 0.3, rng.Split(int64(100+i))); err != nil {
+			panic(err)
+		}
+		gen := workload.NewGenerator(eng, v, prof, rng.Split(int64(i)))
+		r.gens = append(r.gens, gen)
+		r.recs = append(r.recs, nil)
+	}
+	// Software-isolated TeraSorts get a rate limit in every configuration
+	// (that is what software isolation means here).
+	lim := pc.Flash.ChannelBandwidth() * 8 / 2 * opt.SoftwareShareFactor
+	plat.VSSD(2).SetRateLimit(lim, lim/2)
+	plat.VSSD(3).SetRateLimit(lim, lim/2)
+
+	switch kind {
+	case PolFleetIO:
+		tm, alphas := TypeModel()
+		f := core.NewFleetIO(plat, core.FleetIOConfig{
+			Train: opt.TrainDuringRun, TrainEvery: 10, Seed: opt.Seed,
+			Pretrained: opt.Pretrained, TypeModel: tm, AlphaByCluster: alphas,
+		})
+		for i, name := range mix.Workloads {
+			if c, ok := tm.WorkloadCluster[name]; ok {
+				if a, ok2 := alphas[c]; ok2 {
+					f.SetAlpha(i, a)
+				}
+			}
+		}
+		r.runner = &core.Runner{Plat: plat, Adm: admission.NewController(plat, nil), Policy: f, Window: opt.Window}
+	case PolSoftware:
+		// Full software isolation: everyone shares everything.
+		for i := 0; i < 2; i++ {
+			plat.VSSD(i).Tenant().SetChannels(chanRange(0, 16))
+		}
+		for i := 2; i < 4; i++ {
+			plat.VSSD(i).Tenant().SetChannels(chanRange(0, 16))
+		}
+		baselineRate := pc.Flash.ChannelBandwidth() * 16 / 4 * opt.SoftwareShareFactor
+		for i := 0; i < 4; i++ {
+			plat.VSSD(i).SetRateLimit(baselineRate, baselineRate/2)
+		}
+		r.runner = &core.Runner{Plat: plat, Policy: core.StaticPolicy{PolicyName: "Software Isolation"}, Window: opt.Window}
+	default:
+		r.runner = &core.Runner{Plat: plat, Policy: core.StaticPolicy{PolicyName: "Mixed Isolation"}, Window: opt.Window}
+	}
+	r.execute()
+	return r.collect(mix, kind)
+}
+
+// Figure17Row is one robustness comparison.
+type Figure17Row struct {
+	Label       string
+	Pretrained  Result
+	Transferred Result
+}
+
+// Figure17 evaluates robustness to collocated-workload changes: the model
+// keeps serving tenant A while its neighbour switches from B to C halfway;
+// the result is compared to a model tuned on A+C from the start.
+func Figure17(w io.Writer, opt Options) []Figure17Row {
+	cases := []struct {
+		label           string
+		keep, from, to  string
+		keepIsBandwidth bool
+	}{
+		{"T + (V->Y)", "TeraSort", "VDI-Web", "YCSB", true},
+		{"M + (V->Y)", "MLPrep", "VDI-Web", "YCSB", true},
+		{"P + (V->Y)", "PageRank", "VDI-Web", "YCSB", true},
+		{"V + (T->M)", "VDI-Web", "TeraSort", "MLPrep", false},
+		{"V + (M->P)", "VDI-Web", "MLPrep", "PageRank", false},
+		{"Y + (P->T)", "YCSB", "PageRank", "TeraSort", false},
+	}
+	fmt.Fprintln(w, "Figure 17: robustness to collocated workload changes")
+	fmt.Fprintf(w, "%-12s %14s %14s %10s (metric: %s)\n", "case", "pretrained", "transfer", "ratio", "BI MB/s or LS P99 ms")
+	var rows []Figure17Row
+	for _, c := range cases {
+		finalMix := MixSpec{Label: c.label, Workloads: []string{c.keep, c.to}}
+		if !c.keepIsBandwidth {
+			finalMix.Workloads = []string{c.keep, c.to}
+		}
+		pre := Compare(finalMix, []PolicyKind{PolFleetIO}, opt)[0]
+		tr := RunTransfer(c.keep, c.from, c.to, opt)
+		var a, b float64
+		if c.keepIsBandwidth {
+			a, b = pre.BandwidthTenant(), tr.BandwidthTenant()
+		} else {
+			a, b = pre.LatencyTenantP99(), tr.LatencyTenantP99()
+		}
+		ratio := b / a
+		fmt.Fprintf(w, "%-12s %14.2f %14.2f %9.2fx\n", c.label, a, b, ratio)
+		rows = append(rows, Figure17Row{Label: c.label, Pretrained: pre, Transferred: tr})
+	}
+	fmt.Fprintln(w, "(paper: transfer within 5% of pretrained across all combinations)")
+	fmt.Fprintln(w)
+	return rows
+}
+
+// RunTransfer trains FleetIO on keep+from, switches the collocated
+// workload to `to` halfway through warmup+measurement, and measures the
+// final interval.
+func RunTransfer(keep, from, to string, opt Options) Result {
+	finalMix := MixSpec{Label: keep + "+" + to, Workloads: []string{keep, to}}
+	slos := Calibrate(finalMix, opt)
+	initialMix := MixSpec{Label: keep + "+" + from, Workloads: []string{keep, from}}
+	r := buildPlatform(initialMix, PolFleetIO, slos, opt)
+	r.attachPolicy(PolFleetIO, initialMix)
+	// Run the initial combination through warmup plus half the duration,
+	// then swap the collocated workload.
+	for _, g := range r.gens {
+		g.Start()
+	}
+	r.runner.Start()
+	r.eng.RunUntil(r.opt.Warmup)
+	r.gens[1].Stop()
+	newProf := workload.ByName(to)
+	gen := workload.NewGenerator(r.eng, r.plat.VSSD(1), newProf, sim.NewRNG(opt.Seed+999))
+	gen.Start()
+	r.gens[1] = gen
+	// Give the agents a short adjustment, then measure.
+	r.eng.RunUntil(r.opt.Warmup + r.opt.Window*4)
+	for _, v := range r.plat.VSSDs() {
+		v.ResetTotals()
+		v.Rotate()
+	}
+	r.eng.RunUntil(r.opt.Warmup + r.opt.Window*4 + r.opt.Duration)
+	for _, g := range r.gens {
+		g.Stop()
+	}
+	return r.collect(finalMix, PolFleetIO)
+}
+
+// OverheadReport captures §4.7's overhead table.
+type OverheadReport struct {
+	InferencePerWindow   time.Duration
+	FineTunePer10Windows time.Duration
+	GSBCreate            time.Duration
+	AdmissionPer1000     time.Duration
+	ModelBytes           int
+	ModelParams          int
+}
+
+// Overheads measures the §4.7 costs on this machine.
+func Overheads(w io.Writer) OverheadReport {
+	rng := sim.NewRNG(1)
+	net := nn.NewActorCritic(core.DefaultHistoryWindows*core.StatesPerWindow, 50,
+		[]int{len(core.HarvestLevels), len(core.HarvestLevels), len(core.PriorityLevels)}, rng)
+	state := make([]float64, core.DefaultHistoryWindows*core.StatesPerWindow)
+	for i := range state {
+		state[i] = rng.Float64()
+	}
+	ppo := rl.New(net, rl.DefaultConfig(), rng)
+
+	// Inference.
+	const infIters = 2000
+	start := time.Now()
+	for i := 0; i < infIters; i++ {
+		ppo.ActGreedy(state)
+	}
+	inf := time.Since(start) / infIters
+
+	// Fine-tune: one PPO update over 10 windows' worth of transitions.
+	var buf rl.Buffer
+	mkBuf := func() {
+		for i := 0; i < 32; i++ {
+			a, lp, v := ppo.Act(state)
+			buf.Add(rl.Transition{State: state, Actions: a, LogProb: lp, Value: v, Reward: rng.Float64()})
+		}
+	}
+	mkBuf()
+	start = time.Now()
+	ppo.Train(&buf, 0)
+	ft := time.Since(start)
+
+	// gSB creation (metadata only).
+	eng := sim.NewEngine()
+	pc := vssd.DefaultPlatformConfig()
+	pc.Flash.BlocksPerChip = 128
+	pc.Flash.PagesPerBlock = 64
+	plat := vssd.NewPlatform(eng, pc)
+	plat.AddVSSD(vssd.Config{Name: "home", Channels: chanRange(0, 8)})
+	plat.AddVSSD(vssd.Config{Name: "harv", Channels: chanRange(8, 16)})
+	const gsbIters = 500
+	start = time.Now()
+	for i := 0; i < gsbIters; i++ {
+		plat.GSB().SetHarvestable(plat.VSSD(0).Tenant(), 1)
+		plat.GSB().SetHarvestable(plat.VSSD(0).Tenant(), 0)
+	}
+	gsbDur := time.Since(start) / (2 * gsbIters)
+
+	// Admission control batch of 1000 actions.
+	adm := admission.NewController(plat, nil)
+	bw := pc.Flash.ChannelBandwidth()
+	start = time.Now()
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			adm.Submit(vssd.Action{VSSD: 0, Kind: vssd.ActMakeHarvestable, BW: bw})
+		} else {
+			adm.Submit(vssd.Action{VSSD: 1, Kind: vssd.ActHarvest, BW: bw})
+		}
+	}
+	adm.Flush()
+	admDur := time.Since(start)
+
+	enc, _ := net.Encode()
+	rep := OverheadReport{
+		InferencePerWindow:   inf,
+		FineTunePer10Windows: ft,
+		GSBCreate:            gsbDur,
+		AdmissionPer1000:     admDur,
+		ModelBytes:           len(enc),
+		ModelParams:          net.NumParams(),
+	}
+	if w != nil {
+		fmt.Fprintln(w, "Section 4.7: overhead sources")
+		fmt.Fprintf(w, "  inference per window:        %v (paper: 1.1 ms)\n", rep.InferencePerWindow)
+		fmt.Fprintf(w, "  fine-tune per 10 windows:    %v (paper: 51.2 ms)\n", rep.FineTunePer10Windows)
+		fmt.Fprintf(w, "  gSB create/reclaim:          %v (paper: <1 us)\n", rep.GSBCreate)
+		fmt.Fprintf(w, "  admission, 1000 actions:     %v (paper: 0.8 ms)\n", rep.AdmissionPer1000)
+		fmt.Fprintf(w, "  model size:                  %d bytes, %d params (paper: 2.2 MB, ~9K params)\n\n",
+			rep.ModelBytes, rep.ModelParams)
+	}
+	return rep
+}
+
+func maxF(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func meanF(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

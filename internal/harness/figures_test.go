@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.Window = 200 * sim.Millisecond
+	o.Warmup = 1 * sim.Second
+	o.Duration = 2 * sim.Second
+	o.BlocksPerChip = 32
+	return o
+}
+
+func TestFigure6Output(t *testing.T) {
+	var buf bytes.Buffer
+	Figure6(&buf)
+	out := buf.String()
+	for _, want := range []string{"cluster", "TeraSort", "YCSB", "accuracy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Figure 6 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2And3Formatting(t *testing.T) {
+	opt := tinyOptions()
+	grid := map[string][]Result{}
+	for _, mix := range EvalPairs() {
+		grid[mix.Label] = Compare(mix, []PolicyKind{PolHardware, PolSoftware}, opt)
+	}
+	var buf bytes.Buffer
+	Figure2(&buf, grid)
+	Figure3(&buf, grid)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "Figure 3a") || !strings.Contains(out, "Figure 3b") {
+		t.Fatalf("missing figure headers:\n%s", out)
+	}
+	if !strings.Contains(out, "YCSB+TeraSort") {
+		t.Fatal("missing pair rows")
+	}
+}
+
+func TestFigure16MixedIsolation(t *testing.T) {
+	opt := tinyOptions()
+	var buf bytes.Buffer
+	rows := Figure16(&buf, opt)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	labels := []string{"Mixed Isolation", "Software Isolation", "FleetIO"}
+	for i, r := range rows {
+		if r.Policy != labels[i] {
+			t.Fatalf("row %d = %q", i, r.Policy)
+		}
+		if r.AvgUtil <= 0 || r.BIMBps <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+}
+
+func TestRunTransferMeasuresFinalMix(t *testing.T) {
+	opt := tinyOptions()
+	res := RunTransfer("TeraSort", "VDI-Web", "YCSB", opt)
+	if len(res.Tenants) != 2 {
+		t.Fatalf("tenants = %d", len(res.Tenants))
+	}
+	if res.Tenants[0].Workload != "TeraSort" || res.Tenants[1].Workload != "YCSB" {
+		t.Fatalf("final mix wrong: %s + %s", res.Tenants[0].Workload, res.Tenants[1].Workload)
+	}
+	for _, tr := range res.Tenants {
+		if tr.Completed == 0 {
+			t.Fatalf("%s idle after the swap", tr.Workload)
+		}
+	}
+}
+
+func TestOverheadsReport(t *testing.T) {
+	var buf bytes.Buffer
+	rep := Overheads(&buf)
+	if rep.InferencePerWindow <= 0 || rep.FineTunePer10Windows <= 0 ||
+		rep.GSBCreate <= 0 || rep.AdmissionPer1000 <= 0 {
+		t.Fatalf("degenerate overheads: %+v", rep)
+	}
+	if rep.ModelParams < 4000 || rep.ModelParams > 12000 {
+		t.Fatalf("model params = %d, want the paper's ~9K regime", rep.ModelParams)
+	}
+	if rep.ModelBytes <= 0 {
+		t.Fatal("model bytes missing")
+	}
+	if !strings.Contains(buf.String(), "overhead") {
+		t.Fatal("report text missing")
+	}
+}

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func fastOptions() Options {
+	o := DefaultOptions()
+	o.Window = 200 * sim.Millisecond
+	o.Warmup = 2 * sim.Second
+	o.Duration = 4 * sim.Second
+	o.BlocksPerChip = 32
+	return o
+}
+
+func TestPolicyKindStrings(t *testing.T) {
+	want := map[PolicyKind]string{
+		PolHardware: "Hardware Isolation", PolSSDKeeper: "SSDKeeper",
+		PolAdaptive: "Adaptive", PolSoftware: "Software Isolation",
+		PolFleetIO: "FleetIO", PolFleetIOUnifiedGlobal: "FleetIO-Unified-Global",
+		PolFleetIOCustomizedLocal: "FleetIO-Customized-Local",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestEvalPairsAndMixes(t *testing.T) {
+	pairs := EvalPairs()
+	if len(pairs) != 6 {
+		t.Fatalf("eval pairs = %d, want 6", len(pairs))
+	}
+	mixes := Table5Mixes()
+	if len(mixes) != 5 {
+		t.Fatalf("mixes = %d", len(mixes))
+	}
+	sizes := []int{2, 2, 4, 4, 8}
+	for i, m := range mixes {
+		if len(m.Workloads) != sizes[i] {
+			t.Fatalf("%s has %d workloads, want %d", m.Label, len(m.Workloads), sizes[i])
+		}
+	}
+}
+
+func TestCalibrateProducesSLOs(t *testing.T) {
+	opt := fastOptions()
+	slos := Calibrate(Pair("YCSB", "TeraSort"), opt)
+	if len(slos) != 2 {
+		t.Fatalf("slos = %v", slos)
+	}
+	for i, s := range slos {
+		if s < 100*sim.Microsecond || s > 500*sim.Millisecond {
+			t.Fatalf("SLO[%d] = %v implausible", i, s)
+		}
+	}
+}
+
+// The §2.2 motivation shape: software isolation wins utilization and
+// bandwidth, hardware isolation wins tail latency.
+func TestHardwareVsSoftwareShape(t *testing.T) {
+	opt := fastOptions()
+	mix := Pair("YCSB", "TeraSort")
+	slos := Calibrate(mix, opt)
+	hw := RunOne(mix, PolHardware, slos, opt)
+	sw := RunOne(mix, PolSoftware, slos, opt)
+
+	if sw.AvgUtil <= hw.AvgUtil {
+		t.Fatalf("software util %.3f must exceed hardware %.3f", sw.AvgUtil, hw.AvgUtil)
+	}
+	if sw.BandwidthTenant() <= hw.BandwidthTenant() {
+		t.Fatalf("software BI bandwidth %.1f must exceed hardware %.1f",
+			sw.BandwidthTenant(), hw.BandwidthTenant())
+	}
+	if sw.LatencyTenantP99() <= hw.LatencyTenantP99() {
+		t.Fatalf("software P99 %.2fms must exceed hardware %.2fms",
+			sw.LatencyTenantP99(), hw.LatencyTenantP99())
+	}
+	// Sanity on magnitudes.
+	if hw.AvgUtil <= 0.05 || hw.AvgUtil > 1.0 {
+		t.Fatalf("hardware util = %.3f out of plausible range", hw.AvgUtil)
+	}
+	for _, tr := range hw.Tenants {
+		if tr.Completed == 0 {
+			t.Fatalf("%s completed nothing", tr.Workload)
+		}
+	}
+}
+
+// The headline Figure 10 shape: FleetIO lands between the extremes —
+// utilization well above hardware isolation, tail latency well below
+// software isolation.
+func TestFleetIOTradeoffShape(t *testing.T) {
+	opt := WithPretrained(fastOptions())
+	opt.Warmup = 4 * sim.Second // extra online fine-tuning time
+	mix := Pair("YCSB", "TeraSort")
+	slos := Calibrate(mix, opt)
+	hw := RunOne(mix, PolHardware, slos, opt)
+	sw := RunOne(mix, PolSoftware, slos, opt)
+	fio := RunOne(mix, PolFleetIO, slos, opt)
+
+	if fio.AvgUtil <= hw.AvgUtil {
+		t.Fatalf("FleetIO util %.3f must beat hardware %.3f", fio.AvgUtil, hw.AvgUtil)
+	}
+	if fio.LatencyTenantP99() >= sw.LatencyTenantP99() {
+		t.Fatalf("FleetIO P99 %.2fms must beat software %.2fms",
+			fio.LatencyTenantP99(), sw.LatencyTenantP99())
+	}
+	t.Logf("util: hw=%.3f fio=%.3f sw=%.3f | P99: hw=%.2f fio=%.2f sw=%.2f",
+		hw.AvgUtil, fio.AvgUtil, sw.AvgUtil,
+		hw.LatencyTenantP99(), fio.LatencyTenantP99(), sw.LatencyTenantP99())
+}
+
+func TestTypeModelAlphaMapping(t *testing.T) {
+	tm, alphas := TypeModel()
+	if tm == nil || len(alphas) == 0 {
+		t.Fatal("type model missing")
+	}
+	// The three paper clusters map to the three §3.8 α values.
+	seen := map[float64]bool{}
+	for _, a := range alphas {
+		seen[a] = true
+	}
+	if len(alphas) != 3 {
+		t.Fatalf("alpha map = %v, want 3 clusters", alphas)
+	}
+	_ = workload.Names()
+}
+
+func TestAdaptiveAndSSDKeeperRun(t *testing.T) {
+	opt := fastOptions()
+	opt.Duration = 3 * sim.Second
+	mix := Pair("VDI-Web", "PageRank")
+	slos := Calibrate(mix, opt)
+	for _, k := range []PolicyKind{PolAdaptive, PolSSDKeeper} {
+		res := RunOne(mix, k, slos, opt)
+		if res.AvgUtil <= 0 {
+			t.Fatalf("%s produced zero utilization", k)
+		}
+		for _, tr := range res.Tenants {
+			if tr.Completed == 0 {
+				t.Fatalf("%s: %s completed nothing", k, tr.Workload)
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"sync"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/rl"
+	"repro/internal/sim"
+	"repro/internal/vssd"
+	"repro/internal/workload"
+)
+
+// PretrainConfig scales the offline pretraining loop (§3.8: the paper
+// pre-trains PPO on held-out workloads — LiveMaps, TPCE, SearchEngine,
+// Batch Analytics — using a simulator to parallelize collection; here the
+// same discrete-event simulator plays that role).
+type PretrainConfig struct {
+	Seed int64
+	// Episodes is the number of simulated collocations to train over.
+	Episodes int
+	// EpisodeDuration is the virtual time per episode.
+	EpisodeDuration sim.Time
+	// Window is the decision window during pretraining (smaller than
+	// deployment for more transitions per simulated second).
+	Window sim.Time
+	// LR is the pretraining learning rate (deployment fine-tuning uses the
+	// paper's 1e-4; pretraining converges faster at 1e-3).
+	LR float64
+}
+
+// DefaultPretrainConfig returns a budget that pretrains in tens of CPU
+// seconds; cmd/fleettrain uses larger budgets.
+func DefaultPretrainConfig() PretrainConfig {
+	return PretrainConfig{
+		Seed:            11,
+		Episodes:        6,
+		EpisodeDuration: 20 * sim.Second,
+		Window:          100 * sim.Millisecond,
+		LR:              1e-3,
+	}
+}
+
+// pretrainMixes pairs the held-out workloads the way deployment collocates
+// latency- and bandwidth-oriented tenants.
+func pretrainMixes() []MixSpec {
+	return []MixSpec{
+		{Label: "pre1", Workloads: []string{"TPCE", "BatchAnalytics"}},
+		{Label: "pre2", Workloads: []string{"LiveMaps", "BatchAnalytics"}},
+		{Label: "pre3", Workloads: []string{"SearchEngine", "BatchAnalytics"}},
+	}
+}
+
+// Pretrain trains one shared FleetIO network across episodes of held-out
+// workload mixes and returns it.
+func Pretrain(pc PretrainConfig) *nn.ActorCritic {
+	return PretrainMode(pc, core.ModeFull)
+}
+
+// PretrainMode pretrains under a specific reward variant (Figure 15's
+// ablation pretrains each mode separately, since the reward differences
+// shape behavior during training, not at deployment).
+func PretrainMode(pc PretrainConfig, mode core.Mode) *nn.ActorCritic {
+	_ = workload.PretrainingSet() // the mixes below draw from this set
+	var net *nn.ActorCritic
+	mixes := pretrainMixes()
+	rcfg := rl.DefaultConfig()
+	rcfg.LR = pc.LR
+	for ep := 0; ep < pc.Episodes; ep++ {
+		mix := mixes[ep%len(mixes)]
+		opt := DefaultOptions()
+		opt.Seed = pc.Seed + int64(ep)
+		opt.Window = pc.Window
+		slos := pretrainSLOs(mix, opt)
+		r := buildPlatform(mix, PolFleetIO, slos, opt)
+		tm, alphas := TypeModel()
+		f := core.NewFleetIO(r.plat, core.FleetIOConfig{
+			Mode:           mode,
+			Train:          true,
+			TrainEvery:     5,
+			Seed:           opt.Seed,
+			Pretrained:     net,
+			ShareModel:     true,
+			TypeModel:      tm,
+			AlphaByCluster: alphas,
+			RL:             rcfg,
+		})
+		for i, rec := range r.recs {
+			f.SetRecorder(i, rec)
+		}
+		for i, name := range mix.Workloads {
+			if c, ok := tm.WorkloadCluster[name]; ok {
+				if a, ok2 := alphas[c]; ok2 {
+					f.SetAlpha(i, a)
+				}
+			}
+		}
+		adm := admission.NewController(r.plat, nil)
+		r.runner = &core.Runner{Plat: r.plat, Adm: adm, Policy: f, Window: opt.Window}
+		for _, g := range r.gens {
+			g.Start()
+		}
+		r.runner.Start()
+		r.eng.RunUntil(pc.EpisodeDuration)
+		for _, g := range r.gens {
+			g.Stop()
+		}
+		net = f.Net(0)
+	}
+	return net
+}
+
+// pretrainSLOs calibrates quickly with a short hardware-isolated run.
+func pretrainSLOs(mix MixSpec, opt Options) []sim.Time {
+	o := opt
+	o.Warmup = sim.Second
+	o.Duration = 2 * sim.Second
+	return Calibrate(mix, o)
+}
+
+var (
+	pretrainOnce  sync.Once
+	pretrainedNet *nn.ActorCritic
+	modeNetsMu    sync.Mutex
+	modeNets      = map[core.Mode]*nn.ActorCritic{}
+	// InjectedModel, when set before the first PretrainedModel call, is
+	// used instead of running pretraining (cmd binaries load a model file).
+	InjectedModel *nn.ActorCritic
+	injectMu      sync.Mutex
+)
+
+// SetInjectedModel installs a pre-built model (e.g. loaded from
+// cmd/fleettrain's output) for all subsequent PretrainedModel calls.
+func SetInjectedModel(net *nn.ActorCritic) {
+	injectMu.Lock()
+	defer injectMu.Unlock()
+	InjectedModel = net
+}
+
+// PretrainedModel returns the process-wide pretrained network, training it
+// on first use unless a model was injected.
+func PretrainedModel() *nn.ActorCritic {
+	pretrainOnce.Do(func() {
+		injectMu.Lock()
+		inj := InjectedModel
+		injectMu.Unlock()
+		if inj != nil {
+			pretrainedNet = inj
+			return
+		}
+		pretrainedNet = Pretrain(DefaultPretrainConfig())
+	})
+	return pretrainedNet
+}
+
+// WithPretrained returns a copy of opt seeded with the process-wide
+// pretrained model.
+func WithPretrained(opt Options) Options {
+	opt.Pretrained = PretrainedModel()
+	return opt
+}
+
+var _ = vssd.HardwareIsolated // reserved for future mixed-isolation pretraining
+
+// PretrainedModelFor returns (training once per process per mode) the
+// network pretrained under the given reward variant. ModeFull aliases
+// PretrainedModel.
+func PretrainedModelFor(mode core.Mode) *nn.ActorCritic {
+	if mode == core.ModeFull {
+		return PretrainedModel()
+	}
+	modeNetsMu.Lock()
+	defer modeNetsMu.Unlock()
+	if net, ok := modeNets[mode]; ok {
+		return net
+	}
+	net := PretrainMode(DefaultPretrainConfig(), mode)
+	modeNets[mode] = net
+	return net
+}

@@ -1,0 +1,108 @@
+// Package lockfree provides the non-blocking linked list backing the ghost
+// superblock pool (§3.6 of the FleetIO paper cites Harris' pragmatic
+// non-blocking lists). The implementation uses head-insertion, CAS-claimed
+// logical deletion, and cooperative physical unlinking — a scheme that is
+// linearizable for the pool's three operations (push, pop-first,
+// remove-matching) and safe in a garbage-collected runtime.
+//
+// Invariants that make the unlink race-free without Harris' mark bit:
+// nodes are inserted only at the head, so interior next pointers only ever
+// move forward past claimed nodes; a stale unlink can therefore resurrect
+// an already-claimed (logically deleted) node, which traversals skip, but
+// can never detach a live one.
+package lockfree
+
+import "sync/atomic"
+
+type node[T any] struct {
+	value   T
+	next    atomic.Pointer[node[T]]
+	claimed atomic.Bool
+}
+
+// List is a lock-free linked list. The zero value is an empty list.
+type List[T any] struct {
+	head atomic.Pointer[node[T]]
+	size atomic.Int64
+}
+
+// PushFront inserts v at the head of the list.
+func (l *List[T]) PushFront(v T) {
+	n := &node[T]{value: v}
+	for {
+		h := l.head.Load()
+		n.next.Store(h)
+		if l.head.CompareAndSwap(h, n) {
+			l.size.Add(1)
+			return
+		}
+	}
+}
+
+// PopFront removes and returns the first live element. ok is false when
+// the list is (logically) empty.
+func (l *List[T]) PopFront() (v T, ok bool) {
+	return l.RemoveFirst(func(T) bool { return true })
+}
+
+// RemoveFirst removes and returns the first live element satisfying match,
+// scanning from the head. ok is false when no live element matches.
+func (l *List[T]) RemoveFirst(match func(T) bool) (v T, ok bool) {
+	var prev *node[T]
+	cur := l.head.Load()
+	for cur != nil {
+		next := cur.next.Load()
+		if cur.claimed.Load() {
+			// Cooperative physical unlink of a logically deleted node.
+			if prev == nil {
+				l.head.CompareAndSwap(cur, next)
+			} else {
+				prev.next.CompareAndSwap(cur, next)
+			}
+			cur = next
+			continue
+		}
+		if match(cur.value) && cur.claimed.CompareAndSwap(false, true) {
+			l.size.Add(-1)
+			// Best-effort immediate unlink.
+			if prev == nil {
+				l.head.CompareAndSwap(cur, cur.next.Load())
+			} else {
+				prev.next.CompareAndSwap(cur, cur.next.Load())
+			}
+			return cur.value, true
+		}
+		// Either no match or someone else claimed it first; move on.
+		if !cur.claimed.Load() {
+			prev = cur
+		}
+		cur = next
+	}
+	return v, false
+}
+
+// Scan calls fn on every live element from head to tail, stopping early if
+// fn returns false. Elements claimed concurrently may or may not be seen.
+func (l *List[T]) Scan(fn func(T) bool) {
+	for cur := l.head.Load(); cur != nil; cur = cur.next.Load() {
+		if cur.claimed.Load() {
+			continue
+		}
+		if !fn(cur.value) {
+			return
+		}
+	}
+}
+
+// Len returns the number of live elements. It is exact when the list is
+// quiescent and a linearizable approximation under concurrency.
+func (l *List[T]) Len() int {
+	n := l.size.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Empty reports whether the list has no live elements.
+func (l *List[T]) Empty() bool { return l.Len() == 0 }

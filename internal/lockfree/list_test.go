@@ -1,0 +1,231 @@
+package lockfree
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopLIFO(t *testing.T) {
+	var l List[int]
+	for i := 1; i <= 5; i++ {
+		l.PushFront(i)
+	}
+	for want := 5; want >= 1; want-- {
+		v, ok := l.PopFront()
+		if !ok || v != want {
+			t.Fatalf("pop = %d/%v, want %d", v, ok, want)
+		}
+	}
+	if _, ok := l.PopFront(); ok {
+		t.Fatal("pop from empty list must fail")
+	}
+}
+
+func TestEmptyAndLen(t *testing.T) {
+	var l List[string]
+	if !l.Empty() || l.Len() != 0 {
+		t.Fatal("zero value must be empty")
+	}
+	l.PushFront("a")
+	l.PushFront("b")
+	if l.Len() != 2 || l.Empty() {
+		t.Fatalf("len = %d", l.Len())
+	}
+	l.PopFront()
+	if l.Len() != 1 {
+		t.Fatalf("len = %d after pop", l.Len())
+	}
+}
+
+func TestRemoveFirstMatch(t *testing.T) {
+	var l List[int]
+	for i := 1; i <= 6; i++ {
+		l.PushFront(i) // list: 6 5 4 3 2 1
+	}
+	v, ok := l.RemoveFirst(func(x int) bool { return x%2 == 1 })
+	if !ok || v != 5 {
+		t.Fatalf("removed %d/%v, want first odd = 5", v, ok)
+	}
+	v, ok = l.RemoveFirst(func(x int) bool { return x == 42 })
+	if ok {
+		t.Fatalf("matched nonexistent element: %d", v)
+	}
+	if l.Len() != 5 {
+		t.Fatalf("len = %d, want 5", l.Len())
+	}
+}
+
+func TestScan(t *testing.T) {
+	var l List[int]
+	for i := 1; i <= 4; i++ {
+		l.PushFront(i)
+	}
+	var seen []int
+	l.Scan(func(v int) bool { seen = append(seen, v); return true })
+	want := []int{4, 3, 2, 1}
+	if len(seen) != 4 {
+		t.Fatalf("scan saw %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("scan order %v, want %v", seen, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	l.Scan(func(int) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("early stop scanned %d", count)
+	}
+	// Removed elements are not scanned.
+	l.RemoveFirst(func(v int) bool { return v == 3 })
+	seen = nil
+	l.Scan(func(v int) bool { seen = append(seen, v); return true })
+	for _, v := range seen {
+		if v == 3 {
+			t.Fatal("scan saw removed element")
+		}
+	}
+}
+
+// Property: any interleaved sequence of pushes and pops behaves like a
+// multiset — everything popped was pushed, nothing popped twice, and what
+// remains is push-count minus pop-count.
+func TestMultisetProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var l List[int]
+		pushed := make(map[int]int)
+		popped := make(map[int]int)
+		next := 0
+		for _, o := range ops {
+			if o%3 != 0 {
+				l.PushFront(next)
+				pushed[next]++
+				next++
+			} else if v, ok := l.PopFront(); ok {
+				popped[v]++
+			}
+		}
+		total := 0
+		for v, n := range popped {
+			if pushed[v] < n {
+				return false
+			}
+			total += n
+		}
+		return l.Len() == len(pushed)-total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentPushPop(t *testing.T) {
+	var l List[int]
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	results := make([][]int, workers)
+	// Half the workers push a disjoint range, half pop.
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if w%2 == 0 {
+				base := w * perW
+				for i := 0; i < perW; i++ {
+					l.PushFront(base + i)
+				}
+			} else {
+				for i := 0; i < perW; i++ {
+					if v, ok := l.PopFront(); ok {
+						results[w] = append(results[w], v)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Drain the rest.
+	var drained []int
+	for {
+		v, ok := l.PopFront()
+		if !ok {
+			break
+		}
+		drained = append(drained, v)
+	}
+	seen := make(map[int]bool)
+	record := func(v int) {
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	for _, r := range results {
+		for _, v := range r {
+			record(v)
+		}
+	}
+	for _, v := range drained {
+		record(v)
+	}
+	// Every pushed element was popped exactly once.
+	if len(seen) != (workers/2)*perW {
+		t.Fatalf("popped %d distinct values, want %d", len(seen), (workers/2)*perW)
+	}
+	if !l.Empty() {
+		t.Fatalf("list not empty at end: len=%d", l.Len())
+	}
+}
+
+func TestConcurrentRemoveFirst(t *testing.T) {
+	var l List[int]
+	const n = 4000
+	for i := 0; i < n; i++ {
+		l.PushFront(i)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := l.RemoveFirst(func(x int) bool { return x%2 == 0 })
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[v] {
+					mu.Unlock()
+					t.Errorf("value %d removed twice", v)
+					return
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != n/2 {
+		t.Fatalf("removed %d evens, want %d", len(seen), n/2)
+	}
+	// All odds remain.
+	count := 0
+	l.Scan(func(v int) bool {
+		if v%2 == 0 {
+			t.Fatalf("even value %d survived", v)
+		}
+		count++
+		return true
+	})
+	if count != n/2 {
+		t.Fatalf("scan found %d odds, want %d", count, n/2)
+	}
+}

@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramSingle(t *testing.T) {
+	var h Histogram
+	h.Add(12345)
+	if h.Count() != 1 || h.Min() != 12345 || h.Max() != 12345 {
+		t.Fatalf("single-sample stats wrong: %s", h.String())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		v := h.Quantile(q)
+		if v != 12345 {
+			t.Fatalf("Quantile(%v) = %d, want 12345", q, v)
+		}
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h Histogram
+	for i := int64(0); i < 32; i++ {
+		h.Add(i)
+	}
+	// Values below subBuckets are stored exactly; rank ceil(0.5*32)=16 is
+	// the 16th smallest sample, i.e. value 15.
+	if got := h.Quantile(0.5); got != 15 {
+		t.Fatalf("median of 0..31 = %d, want 15", got)
+	}
+	if h.Min() != 0 || h.Max() != 31 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var h Histogram
+	samples := make([]int64, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		// Latency-like distribution: lognormal-ish mix with a heavy tail.
+		v := int64(50_000 + r.ExpFloat64()*400_000)
+		if r.Intn(100) == 0 {
+			v *= 10
+		}
+		h.Add(v)
+		samples = append(samples, v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		idx := int(q*float64(len(samples))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		exact := samples[idx]
+		got := h.Quantile(q)
+		rel := float64(got-exact) / float64(exact)
+		if rel < -0.05 || rel > 0.05 {
+			t.Fatalf("Quantile(%v) = %d, exact %d, rel err %.3f", q, got, exact, rel)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, c Histogram
+	for i := int64(1); i <= 1000; i++ {
+		a.Add(i * 100)
+		c.Add(i * 100)
+	}
+	for i := int64(1); i <= 1000; i++ {
+		b.Add(i * 1000)
+		c.Add(i * 1000)
+	}
+	a.Merge(&b)
+	if a.Count() != c.Count() || a.Sum() != c.Sum() || a.Min() != c.Min() || a.Max() != c.Max() {
+		t.Fatalf("merge mismatch: %s vs %s", a.String(), c.String())
+	}
+	if a.P99() != c.P99() {
+		t.Fatalf("merged P99 %d != direct %d", a.P99(), c.P99())
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	var a, b Histogram
+	a.Add(5)
+	a.Merge(&b) // merging empty is a no-op
+	if a.Count() != 1 {
+		t.Fatal("merge with empty changed count")
+	}
+	b.Merge(&a)
+	if b.Count() != 1 || b.Min() != 5 || b.Max() != 5 {
+		t.Fatal("merge into empty lost samples")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Add(-100)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Fatalf("negative sample not clamped: min=%d", h.Min())
+	}
+}
+
+func TestHistogramCountAbove(t *testing.T) {
+	var h Histogram
+	for i := int64(0); i < 100; i++ {
+		h.Add(i * 1000)
+	}
+	above := h.CountAbove(50_000)
+	// Conservative bound: strictly-above counting can undercount within one
+	// bucket but never overcount.
+	if above > 49 || above < 40 {
+		t.Fatalf("CountAbove(50000) = %d, want in [40,49]", above)
+	}
+}
+
+// Property: histogram quantile is sandwiched between the sample min and max,
+// monotone in q, and mean/sum/count match direct accumulation.
+func TestHistogramQuantileProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		var sum int64
+		min, max := int64(raw[0]), int64(raw[0])
+		for _, u := range raw {
+			v := int64(u)
+			h.Add(v)
+			sum += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if h.Sum() != sum || h.Count() != int64(len(raw)) || h.Min() != min || h.Max() != max {
+			return false
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < min || v > max || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 31, 32, 33, 100, 1023, 1024, 1 << 20, 1<<40 + 12345} {
+		s := slotFor(v)
+		lo := slotLow(s)
+		if lo > v {
+			t.Fatalf("slotLow(%d)=%d exceeds value %d", s, lo, v)
+		}
+		// Relative error bounded by one sub-bucket width.
+		if v >= subBuckets {
+			if float64(v-lo)/float64(v) > 1.0/subBuckets {
+				t.Fatalf("bucket error too large for %d: lo=%d", v, lo)
+			}
+		} else if lo != v {
+			t.Fatalf("small values must be exact: %d -> %d", v, lo)
+		}
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	var w Window
+	const slo = 1_000_000
+	w.Complete(false, 4096, 500_000, 100_000, slo)
+	w.Complete(true, 8192, 2_000_000, 900_000, slo)
+	if w.Reads != 1 || w.Writes != 1 {
+		t.Fatalf("counts: %d reads %d writes", w.Reads, w.Writes)
+	}
+	if w.Bytes() != 12288 {
+		t.Fatalf("bytes = %d", w.Bytes())
+	}
+	if w.SLOViolations != 1 {
+		t.Fatalf("SLO violations = %d, want 1", w.SLOViolations)
+	}
+	if got := w.SLOViolationRate(); got != 0.5 {
+		t.Fatalf("violation rate = %v", got)
+	}
+	if got := w.ReadRatio(); got != 0.5 {
+		t.Fatalf("read ratio = %v", got)
+	}
+	if got := w.AvgLatency(); got != 1_250_000 {
+		t.Fatalf("avg latency = %v", got)
+	}
+	if got := w.AvgQueueDelay(); got != 500_000 {
+		t.Fatalf("avg qdelay = %v", got)
+	}
+}
+
+func TestWindowRates(t *testing.T) {
+	var w Window
+	for i := 0; i < 100; i++ {
+		w.Complete(false, 1<<20, 1000, 0, 0)
+	}
+	const sec = int64(1e9)
+	if bw := w.Bandwidth(sec); bw != 100<<20 {
+		t.Fatalf("bandwidth = %v", bw)
+	}
+	if io := w.IOPS(2 * sec); io != 50 {
+		t.Fatalf("IOPS = %v", io)
+	}
+	if w.Bandwidth(0) != 0 || w.IOPS(-1) != 0 {
+		t.Fatal("degenerate durations must give 0")
+	}
+}
+
+func TestWindowIdleReadRatioNeutral(t *testing.T) {
+	var w Window
+	if w.ReadRatio() != 0.5 {
+		t.Fatal("idle window read ratio should be neutral 0.5")
+	}
+}
+
+func TestWindowMergeAndReset(t *testing.T) {
+	var a, b Window
+	a.Complete(false, 100, 10, 1, 5)
+	b.Complete(true, 200, 20, 2, 5)
+	a.Merge(&b)
+	if a.Requests() != 2 || a.Bytes() != 300 || a.SLOViolations != 2 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	a.Reset()
+	if a.Requests() != 0 || a.Hist.Count() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

@@ -1,0 +1,43 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func benchNet() (*ActorCritic, []float64) {
+	rng := sim.NewRNG(1)
+	net := NewActorCritic(33, 50, []int{5, 5, 3}, rng)
+	x := make([]float64, 33)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return net, x
+}
+
+// BenchmarkForward measures one policy+value inference on the paper-sized
+// network.
+func BenchmarkForward(b *testing.B) {
+	net, x := benchNet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}
+
+// BenchmarkForwardBackward measures one full gradient step's compute.
+func BenchmarkForwardBackward(b *testing.B) {
+	net, x := benchNet()
+	dl := [][]float64{make([]float64, 5), make([]float64, 5), make([]float64, 3)}
+	for _, d := range dl {
+		for i := range d {
+			d[i] = 0.1
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, cache := net.Forward(x)
+		net.Backward(cache, dl, 1.0)
+	}
+}

@@ -1,0 +1,357 @@
+// Package nn is a small, dependency-free neural-network library sized for
+// FleetIO's RL models (Table 3: two hidden layers of 50 units, ~9K
+// parameters). It provides dense layers with tanh activations, an
+// actor-critic network with a shared trunk, multiple categorical policy
+// heads and a value head, the Adam optimizer, softmax/categorical
+// utilities, and gob serialization. It replaces the paper's
+// PyTorch/RLlib stack.
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/sim"
+)
+
+// Linear is a fully connected layer y = Wx + b with gradient accumulators
+// and Adam moment buffers.
+type Linear struct {
+	In, Out int
+	W, B    []float64 // W is Out×In row-major
+
+	GW, GB []float64 // accumulated gradients
+	MW, VW []float64 // Adam first/second moments for W
+	MB, VB []float64 // Adam moments for B
+}
+
+// NewLinear builds a layer with Xavier/Glorot-uniform initialization.
+func NewLinear(in, out int, rng *sim.RNG) *Linear {
+	l := &Linear{
+		In: in, Out: out,
+		W: make([]float64, in*out), B: make([]float64, out),
+		GW: make([]float64, in*out), GB: make([]float64, out),
+		MW: make([]float64, in*out), VW: make([]float64, in*out),
+		MB: make([]float64, out), VB: make([]float64, out),
+	}
+	bound := math.Sqrt(6.0 / float64(in+out))
+	for i := range l.W {
+		l.W[i] = (rng.Float64()*2 - 1) * bound
+	}
+	return l
+}
+
+// Forward computes y = Wx + b into y (len Out).
+func (l *Linear) Forward(x, y []float64) {
+	for o := 0; o < l.Out; o++ {
+		sum := l.B[o]
+		row := l.W[o*l.In : (o+1)*l.In]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		y[o] = sum
+	}
+}
+
+// Backward accumulates parameter gradients given the layer input x and the
+// upstream gradient dy, and writes the input gradient into dx (len In,
+// may be nil to skip).
+func (l *Linear) Backward(x, dy, dx []float64) {
+	for o := 0; o < l.Out; o++ {
+		g := dy[o]
+		l.GB[o] += g
+		grow := l.GW[o*l.In : (o+1)*l.In]
+		for i, xi := range x {
+			grow[i] += g * xi
+		}
+	}
+	if dx != nil {
+		for i := range dx {
+			dx[i] = 0
+		}
+		for o := 0; o < l.Out; o++ {
+			g := dy[o]
+			row := l.W[o*l.In : (o+1)*l.In]
+			for i := range dx {
+				dx[i] += row[i] * g
+			}
+		}
+	}
+}
+
+// ZeroGrad clears the gradient accumulators.
+func (l *Linear) ZeroGrad() {
+	for i := range l.GW {
+		l.GW[i] = 0
+	}
+	for i := range l.GB {
+		l.GB[i] = 0
+	}
+}
+
+// NumParams returns the parameter count.
+func (l *Linear) NumParams() int { return len(l.W) + len(l.B) }
+
+// Adam is the Adam optimizer (Kingma & Ba) over a set of layers.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	t     int
+}
+
+// NewAdam returns Adam with the paper's learning rate and standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one update using the accumulated gradients (scaled by
+// 1/batch) and clears them.
+func (a *Adam) Step(layers []*Linear, batch float64) {
+	if batch <= 0 {
+		batch = 1
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	upd := func(w, g, m, v []float64) {
+		for i := range w {
+			gi := g[i] / batch
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
+			mh := m[i] / c1
+			vh := v[i] / c2
+			w[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+			g[i] = 0
+		}
+	}
+	for _, l := range layers {
+		upd(l.W, l.GW, l.MW, l.VW)
+		upd(l.B, l.GB, l.MB, l.VB)
+	}
+}
+
+// Softmax writes the softmax of logits into probs (stable).
+func Softmax(logits, probs []float64) {
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		p := math.Exp(v - max)
+		probs[i] = p
+		sum += p
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+}
+
+// SampleCategorical draws an index from the probability vector.
+func SampleCategorical(rng *sim.RNG, probs []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// Argmax returns the index of the largest element.
+func Argmax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Entropy returns the Shannon entropy of a probability vector (nats).
+func Entropy(probs []float64) float64 {
+	h := 0.0
+	for _, p := range probs {
+		if p > 1e-12 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// ActorCritic is the FleetIO agent network: a tanh MLP trunk shared by K
+// categorical policy heads (one per action dimension — Harvest,
+// Make_Harvestable, Set_Priority) and a scalar value head.
+type ActorCritic struct {
+	L1, L2 *Linear
+	Heads  []*Linear
+	Value  *Linear
+}
+
+// NewActorCritic builds the network: in → hidden tanh → hidden tanh →
+// {heads, value}.
+func NewActorCritic(in, hidden int, headSizes []int, rng *sim.RNG) *ActorCritic {
+	ac := &ActorCritic{
+		L1:    NewLinear(in, hidden, rng),
+		L2:    NewLinear(hidden, hidden, rng),
+		Value: NewLinear(hidden, 1, rng),
+	}
+	for _, hs := range headSizes {
+		ac.Heads = append(ac.Heads, NewLinear(hidden, hs, rng))
+	}
+	return ac
+}
+
+// Cache holds the intermediate activations of one forward pass, needed for
+// the corresponding backward pass.
+type Cache struct {
+	X      []float64
+	H1, A1 []float64
+	H2, A2 []float64
+}
+
+// Forward runs the network, returning per-head logits and the value.
+func (ac *ActorCritic) Forward(x []float64) (logits [][]float64, value float64, cache *Cache) {
+	c := &Cache{
+		X:  append([]float64(nil), x...),
+		H1: make([]float64, ac.L1.Out), A1: make([]float64, ac.L1.Out),
+		H2: make([]float64, ac.L2.Out), A2: make([]float64, ac.L2.Out),
+	}
+	ac.L1.Forward(c.X, c.H1)
+	for i, v := range c.H1 {
+		c.A1[i] = math.Tanh(v)
+	}
+	ac.L2.Forward(c.A1, c.H2)
+	for i, v := range c.H2 {
+		c.A2[i] = math.Tanh(v)
+	}
+	logits = make([][]float64, len(ac.Heads))
+	for k, h := range ac.Heads {
+		logits[k] = make([]float64, h.Out)
+		h.Forward(c.A2, logits[k])
+	}
+	out := make([]float64, 1)
+	ac.Value.Forward(c.A2, out)
+	return logits, out[0], c
+}
+
+// Backward accumulates gradients given upstream gradients for each head's
+// logits (nil entries are skipped) and the value output.
+func (ac *ActorCritic) Backward(c *Cache, dLogits [][]float64, dValue float64) {
+	dA2 := make([]float64, ac.L2.Out)
+	tmp := make([]float64, ac.L2.Out)
+	for k, h := range ac.Heads {
+		if dLogits[k] == nil {
+			continue
+		}
+		h.Backward(c.A2, dLogits[k], tmp)
+		for i := range dA2 {
+			dA2[i] += tmp[i]
+		}
+	}
+	if dValue != 0 {
+		ac.Value.Backward(c.A2, []float64{dValue}, tmp)
+		for i := range dA2 {
+			dA2[i] += tmp[i]
+		}
+	}
+	// Through tanh at layer 2.
+	dH2 := make([]float64, ac.L2.Out)
+	for i := range dH2 {
+		dH2[i] = dA2[i] * (1 - c.A2[i]*c.A2[i])
+	}
+	dA1 := make([]float64, ac.L1.Out)
+	ac.L2.Backward(c.A1, dH2, dA1)
+	dH1 := make([]float64, ac.L1.Out)
+	for i := range dH1 {
+		dH1[i] = dA1[i] * (1 - c.A1[i]*c.A1[i])
+	}
+	ac.L1.Backward(c.X, dH1, nil)
+}
+
+// Layers returns every trainable layer.
+func (ac *ActorCritic) Layers() []*Linear {
+	out := []*Linear{ac.L1, ac.L2, ac.Value}
+	out = append(out, ac.Heads...)
+	return out
+}
+
+// ZeroGrad clears all gradient accumulators.
+func (ac *ActorCritic) ZeroGrad() {
+	for _, l := range ac.Layers() {
+		l.ZeroGrad()
+	}
+}
+
+// NumParams returns the total trainable parameter count.
+func (ac *ActorCritic) NumParams() int {
+	n := 0
+	for _, l := range ac.Layers() {
+		n += l.NumParams()
+	}
+	return n
+}
+
+// Clone deep-copies the network (weights only; fresh grads/moments).
+func (ac *ActorCritic) Clone() *ActorCritic {
+	cp := func(l *Linear) *Linear {
+		n := &Linear{In: l.In, Out: l.Out,
+			W: append([]float64(nil), l.W...), B: append([]float64(nil), l.B...),
+			GW: make([]float64, len(l.W)), GB: make([]float64, len(l.B)),
+			MW: make([]float64, len(l.W)), VW: make([]float64, len(l.W)),
+			MB: make([]float64, len(l.B)), VB: make([]float64, len(l.B)),
+		}
+		return n
+	}
+	out := &ActorCritic{L1: cp(ac.L1), L2: cp(ac.L2), Value: cp(ac.Value)}
+	for _, h := range ac.Heads {
+		out.Heads = append(out.Heads, cp(h))
+	}
+	return out
+}
+
+// Encode serializes the network with gob.
+func (ac *ActorCritic) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ac); err != nil {
+		return nil, fmt.Errorf("nn: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeActorCritic deserializes a network produced by Encode.
+func DecodeActorCritic(data []byte) (*ActorCritic, error) {
+	var ac ActorCritic
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ac); err != nil {
+		return nil, fmt.Errorf("nn: decode: %w", err)
+	}
+	return &ac, nil
+}
+
+// SaveFile writes the network to path.
+func (ac *ActorCritic) SaveFile(path string) error {
+	data, err := ac.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadFile reads a network written by SaveFile.
+func LoadFile(path string) (*ActorCritic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeActorCritic(data)
+}

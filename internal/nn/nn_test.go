@@ -1,0 +1,285 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestLinearForward(t *testing.T) {
+	l := &Linear{In: 2, Out: 2,
+		W:  []float64{1, 2, 3, 4}, // [[1,2],[3,4]]
+		B:  []float64{0.5, -0.5},
+		GW: make([]float64, 4), GB: make([]float64, 2),
+	}
+	y := make([]float64, 2)
+	l.Forward([]float64{1, 1}, y)
+	if y[0] != 3.5 || y[1] != 6.5 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestLinearBackwardMatchesFiniteDifference(t *testing.T) {
+	rng := sim.NewRNG(1)
+	l := NewLinear(3, 2, rng)
+	x := []float64{0.3, -0.7, 1.2}
+	// Loss = sum(y); dL/dy = ones.
+	loss := func() float64 {
+		y := make([]float64, 2)
+		l.Forward(x, y)
+		return y[0] + y[1]
+	}
+	l.ZeroGrad()
+	dx := make([]float64, 3)
+	l.Backward(x, []float64{1, 1}, dx)
+	const eps = 1e-6
+	for i := range l.W {
+		orig := l.W[i]
+		l.W[i] = orig + eps
+		up := loss()
+		l.W[i] = orig - eps
+		down := loss()
+		l.W[i] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-l.GW[i]) > 1e-5 {
+			t.Fatalf("dW[%d]: analytic %v numeric %v", i, l.GW[i], num)
+		}
+	}
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		up := loss()
+		x[i] = orig - eps
+		down := loss()
+		x[i] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-dx[i]) > 1e-5 {
+			t.Fatalf("dx[%d]: analytic %v numeric %v", i, dx[i], num)
+		}
+	}
+}
+
+func TestActorCriticGradCheck(t *testing.T) {
+	rng := sim.NewRNG(7)
+	ac := NewActorCritic(4, 8, []int{3, 2}, rng)
+	x := []float64{0.1, -0.5, 0.9, 0.2}
+	// Scalar loss: sum of all logits of head 0 weighted + 2*value.
+	w0 := []float64{0.3, -0.8, 0.5}
+	loss := func() float64 {
+		logits, v, _ := ac.Forward(x)
+		s := 2 * v
+		for i, l := range logits[0] {
+			s += w0[i] * l
+		}
+		return s
+	}
+	ac.ZeroGrad()
+	_, _, cache := ac.Forward(x)
+	ac.Backward(cache, [][]float64{w0, nil}, 2)
+	const eps = 1e-6
+	check := func(name string, w, g []float64) {
+		for i := range w {
+			orig := w[i]
+			w[i] = orig + eps
+			up := loss()
+			w[i] = orig - eps
+			down := loss()
+			w[i] = orig
+			num := (up - down) / (2 * eps)
+			if math.Abs(num-g[i]) > 1e-4 {
+				t.Fatalf("%s[%d]: analytic %v numeric %v", name, i, g[i], num)
+			}
+		}
+	}
+	check("L1.W", ac.L1.W, ac.L1.GW)
+	check("L1.B", ac.L1.B, ac.L1.GB)
+	check("L2.W", ac.L2.W, ac.L2.GW)
+	check("Value.W", ac.Value.W, ac.Value.GW)
+	check("Head0.W", ac.Heads[0].W, ac.Heads[0].GW)
+	// Head 1 received no upstream gradient.
+	for i, g := range ac.Heads[1].GW {
+		if g != 0 {
+			t.Fatalf("head1 grad[%d] = %v, want 0", i, g)
+		}
+	}
+}
+
+func TestAdamReducesLoss(t *testing.T) {
+	// Regression: fit y = 2x1 - x2 with a tiny network.
+	rng := sim.NewRNG(3)
+	ac := NewActorCritic(2, 8, []int{1}, rng)
+	opt := NewAdam(0.01)
+	sample := func() ([]float64, float64) {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		return x, 2*x[0] - x[1]
+	}
+	mse := func(n int) float64 {
+		s := 0.0
+		r2 := sim.NewRNG(99)
+		for i := 0; i < n; i++ {
+			x := []float64{r2.NormFloat64(), r2.NormFloat64()}
+			y := 2*x[0] - x[1]
+			_, v, _ := ac.Forward(x)
+			s += (v - y) * (v - y)
+		}
+		return s / float64(n)
+	}
+	before := mse(100)
+	for step := 0; step < 800; step++ {
+		ac.ZeroGrad()
+		for b := 0; b < 8; b++ {
+			x, y := sample()
+			_, v, cache := ac.Forward(x)
+			ac.Backward(cache, [][]float64{nil}, 2*(v-y))
+		}
+		opt.Step(ac.Layers(), 8)
+	}
+	after := mse(100)
+	if after > before/10 {
+		t.Fatalf("Adam failed to fit: mse %v -> %v", before, after)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		logits := make([]float64, len(raw))
+		for i, v := range raw {
+			// Clamp to avoid quick feeding infinities.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			logits[i] = math.Mod(v, 50)
+		}
+		probs := make([]float64, len(logits))
+		Softmax(logits, probs)
+		sum := 0.0
+		for _, p := range probs {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	probs := make([]float64, 3)
+	Softmax([]float64{1000, 1001, 999}, probs)
+	if math.IsNaN(probs[0]) || probs[1] < probs[0] || probs[0] < probs[2] {
+		t.Fatalf("unstable softmax: %v", probs)
+	}
+}
+
+func TestSampleCategoricalDistribution(t *testing.T) {
+	rng := sim.NewRNG(11)
+	probs := []float64{0.7, 0.2, 0.1}
+	counts := make([]int, 3)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[SampleCategorical(rng, probs)]++
+	}
+	for i, p := range probs {
+		got := float64(counts[i]) / n
+		if math.Abs(got-p) > 0.02 {
+			t.Fatalf("class %d frequency %v, want %v", i, got, p)
+		}
+	}
+}
+
+func TestArgmaxAndEntropy(t *testing.T) {
+	if Argmax([]float64{1, 5, 3}) != 1 {
+		t.Fatal("argmax wrong")
+	}
+	if Argmax([]float64{7}) != 0 {
+		t.Fatal("singleton argmax wrong")
+	}
+	uniform := []float64{0.25, 0.25, 0.25, 0.25}
+	if math.Abs(Entropy(uniform)-math.Log(4)) > 1e-9 {
+		t.Fatal("uniform entropy wrong")
+	}
+	if Entropy([]float64{1, 0, 0}) > 1e-9 {
+		t.Fatal("deterministic entropy must be ~0")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := sim.NewRNG(5)
+	ac := NewActorCritic(3, 4, []int{2}, rng)
+	cl := ac.Clone()
+	x := []float64{1, 2, 3}
+	_, v1, _ := ac.Forward(x)
+	_, v2, _ := cl.Forward(x)
+	if v1 != v2 {
+		t.Fatal("clone differs")
+	}
+	ac.L1.W[0] += 1
+	_, v3, _ := cl.Forward(x)
+	if v3 != v2 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(9)
+	ac := NewActorCritic(5, 6, []int{4, 3, 2}, rng)
+	data, err := ac.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeActorCritic(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	l1, v1, _ := ac.Forward(x)
+	l2, v2, _ := back.Forward(x)
+	if v1 != v2 {
+		t.Fatal("value differs after round trip")
+	}
+	for k := range l1 {
+		for i := range l1[k] {
+			if l1[k][i] != l2[k][i] {
+				t.Fatal("logits differ after round trip")
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := sim.NewRNG(13)
+	ac := NewActorCritic(3, 4, []int{2}, rng)
+	path := t.TempDir() + "/model.gob"
+	if err := ac.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumParams() != ac.NumParams() {
+		t.Fatal("param count differs")
+	}
+	if _, err := LoadFile(t.TempDir() + "/missing.gob"); err == nil {
+		t.Fatal("loading missing file must error")
+	}
+}
+
+func TestNumParamsPaperScale(t *testing.T) {
+	// The paper's model: 33 inputs (11 states × 3 windows), [50,50] hidden,
+	// three heads and a value head — parameter count should be O(9K).
+	rng := sim.NewRNG(1)
+	ac := NewActorCritic(33, 50, []int{5, 5, 3}, rng)
+	n := ac.NumParams()
+	if n < 4000 || n > 12000 {
+		t.Fatalf("params = %d, expected in the paper's ~9K regime", n)
+	}
+}

@@ -1,0 +1,278 @@
+// Package rl implements Proximal Policy Optimization (PPO-clip) with
+// generalized advantage estimation for FleetIO's agents (§3.8: PPO with
+// γ=0.9, lr=1e-4, hidden [50,50], batch 32). The policy is multi-discrete:
+// one categorical head per action dimension (Harvest, Make_Harvestable,
+// Set_Priority), sampled independently with a joint log-probability.
+package rl
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/sim"
+)
+
+// Config holds PPO hyperparameters; DefaultConfig mirrors Table 3.
+type Config struct {
+	Gamma       float64 // discount factor
+	Lambda      float64 // GAE smoothing
+	ClipEps     float64 // PPO clip range
+	LR          float64 // Adam learning rate
+	Epochs      int     // optimization passes per Train call
+	MiniBatch   int     // minibatch size
+	EntropyCoef float64
+	ValueCoef   float64
+}
+
+// DefaultConfig returns the paper's hyperparameters (Table 3) with
+// standard values for the knobs the paper does not report.
+func DefaultConfig() Config {
+	return Config{
+		Gamma:       0.9,
+		Lambda:      0.95,
+		ClipEps:     0.2,
+		LR:          1e-4,
+		Epochs:      4,
+		MiniBatch:   32,
+		EntropyCoef: 0.01,
+		ValueCoef:   0.5,
+	}
+}
+
+// Transition is one (state, action, reward) step collected from the
+// environment.
+type Transition struct {
+	State   []float64
+	Actions []int
+	LogProb float64
+	Value   float64
+	Reward  float64
+	Done    bool
+}
+
+// Buffer accumulates transitions between Train calls.
+type Buffer struct {
+	steps []Transition
+}
+
+// Add appends a transition.
+func (b *Buffer) Add(t Transition) { b.steps = append(b.steps, t) }
+
+// Len returns the number of buffered transitions.
+func (b *Buffer) Len() int { return len(b.steps) }
+
+// Reset clears the buffer.
+func (b *Buffer) Reset() { b.steps = b.steps[:0] }
+
+// TrainStats summarizes one Train call.
+type TrainStats struct {
+	Steps       int
+	PolicyLoss  float64
+	ValueLoss   float64
+	Entropy     float64
+	MeanAdv     float64
+	MeanReturn  float64
+	ClipVisited float64 // fraction of samples with zeroed (clipped) gradient
+}
+
+// PPO is the learner: a policy/value network plus its optimizer.
+type PPO struct {
+	Net *nn.ActorCritic
+	cfg Config
+	opt *nn.Adam
+	rng *sim.RNG
+}
+
+// New builds a PPO learner around the network.
+func New(net *nn.ActorCritic, cfg Config, rng *sim.RNG) *PPO {
+	return &PPO{Net: net, cfg: cfg, opt: nn.NewAdam(cfg.LR), rng: rng}
+}
+
+// Config returns the hyperparameters.
+func (p *PPO) Config() Config { return p.cfg }
+
+// Act samples one action per head and returns the joint log-probability
+// and the value estimate.
+func (p *PPO) Act(state []float64) (actions []int, logProb, value float64) {
+	logits, v, _ := p.Net.Forward(state)
+	actions = make([]int, len(logits))
+	logProb = 0
+	for k, ls := range logits {
+		probs := make([]float64, len(ls))
+		nn.Softmax(ls, probs)
+		a := nn.SampleCategorical(p.rng, probs)
+		actions[k] = a
+		logProb += math.Log(math.Max(probs[a], 1e-12))
+	}
+	return actions, logProb, v
+}
+
+// ActGreedy returns the argmax action per head (deployment mode).
+func (p *PPO) ActGreedy(state []float64) []int {
+	logits, _, _ := p.Net.Forward(state)
+	actions := make([]int, len(logits))
+	for k, ls := range logits {
+		actions[k] = nn.Argmax(ls)
+	}
+	return actions
+}
+
+// ActGreedyEval returns the argmax action per head together with its joint
+// log-probability under the stochastic policy and the value estimate, so
+// greedy deployments can still record trainable transitions.
+func (p *PPO) ActGreedyEval(state []float64) (actions []int, logProb, value float64) {
+	logits, v, _ := p.Net.Forward(state)
+	actions = make([]int, len(logits))
+	for k, ls := range logits {
+		a := nn.Argmax(ls)
+		actions[k] = a
+		probs := make([]float64, len(ls))
+		nn.Softmax(ls, probs)
+		logProb += math.Log(math.Max(probs[a], 1e-12))
+	}
+	return actions, logProb, v
+}
+
+// Value returns the critic's estimate for a state.
+func (p *PPO) Value(state []float64) float64 {
+	_, v, _ := p.Net.Forward(state)
+	return v
+}
+
+// Train runs PPO on the buffered transitions. lastValue bootstraps the
+// return of the final transition when the episode did not terminate. The
+// buffer is consumed (reset) afterwards.
+func (p *PPO) Train(buf *Buffer, lastValue float64) TrainStats {
+	n := buf.Len()
+	stats := TrainStats{Steps: n}
+	if n == 0 {
+		return stats
+	}
+	steps := buf.steps
+
+	// GAE advantages and returns, computed backwards.
+	adv := make([]float64, n)
+	ret := make([]float64, n)
+	next := lastValue
+	gae := 0.0
+	for i := n - 1; i >= 0; i-- {
+		t := &steps[i]
+		mask := 1.0
+		if t.Done {
+			mask = 0
+		}
+		delta := t.Reward + p.cfg.Gamma*next*mask - t.Value
+		gae = delta + p.cfg.Gamma*p.cfg.Lambda*mask*gae
+		adv[i] = gae
+		ret[i] = adv[i] + t.Value
+		next = t.Value
+	}
+	// Normalize advantages.
+	mean, sd := meanStd(adv)
+	for i := range adv {
+		if sd > 1e-8 {
+			adv[i] = (adv[i] - mean) / sd
+		} else {
+			adv[i] -= mean
+		}
+		stats.MeanReturn += ret[i]
+	}
+	stats.MeanAdv = mean
+	stats.MeanReturn /= float64(n)
+
+	mb := p.cfg.MiniBatch
+	if mb <= 0 || mb > n {
+		mb = n
+	}
+	var polLoss, valLoss, entSum float64
+	var clipped, visited float64
+	for epoch := 0; epoch < p.cfg.Epochs; epoch++ {
+		order := p.rng.Perm(n)
+		for start := 0; start < n; start += mb {
+			end := start + mb
+			if end > n {
+				end = n
+			}
+			p.Net.ZeroGrad()
+			for _, oi := range order[start:end] {
+				t := &steps[oi]
+				logits, v, cache := p.Net.Forward(t.State)
+
+				// New joint log-prob and per-head distributions.
+				newLP := 0.0
+				probs := make([][]float64, len(logits))
+				for k, ls := range logits {
+					pr := make([]float64, len(ls))
+					nn.Softmax(ls, pr)
+					probs[k] = pr
+					newLP += math.Log(math.Max(pr[t.Actions[k]], 1e-12))
+				}
+				ratio := math.Exp(newLP - t.LogProb)
+				a := adv[oi]
+				unclipped := ratio * a
+				lo, hi := 1-p.cfg.ClipEps, 1+p.cfg.ClipEps
+				cr := math.Min(math.Max(ratio, lo), hi)
+				clippedSurr := cr * a
+
+				// d(policy loss)/d(new log-prob): -A*ratio when the
+				// unclipped surrogate is active, 0 otherwise.
+				var dLP float64
+				if unclipped <= clippedSurr {
+					dLP = -a * ratio
+				} else {
+					clipped++
+				}
+				visited++
+				polLoss += -math.Min(unclipped, clippedSurr)
+
+				dLogits := make([][]float64, len(logits))
+				for k, pr := range probs {
+					dl := make([]float64, len(pr))
+					h := nn.Entropy(pr)
+					entSum += h
+					for j := range pr {
+						// Policy gradient through the categorical head.
+						onehot := 0.0
+						if j == t.Actions[k] {
+							onehot = 1
+						}
+						dl[j] = dLP * (onehot - pr[j])
+						// Entropy bonus: loss -= c*H ⇒ grad += c * dH/dl.
+						// dH/dl_j = -p_j (log p_j + H).
+						dl[j] += p.cfg.EntropyCoef * pr[j] * (math.Log(math.Max(pr[j], 1e-12)) + h)
+					}
+					dLogits[k] = dl
+				}
+				vErr := v - ret[oi]
+				valLoss += 0.5 * vErr * vErr
+				p.Net.Backward(cache, dLogits, p.cfg.ValueCoef*vErr)
+			}
+			p.opt.Step(p.Net.Layers(), float64(end-start))
+		}
+	}
+	total := float64(n * p.cfg.Epochs)
+	stats.PolicyLoss = polLoss / total
+	stats.ValueLoss = valLoss / total
+	stats.Entropy = entSum / (total * float64(len(p.Net.Heads)))
+	if visited > 0 {
+		stats.ClipVisited = clipped / visited
+	}
+	buf.Reset()
+	return stats
+}
+
+func meanStd(xs []float64) (mean, sd float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		sd += d * d
+	}
+	sd = math.Sqrt(sd / float64(len(xs)))
+	return mean, sd
+}

@@ -1,0 +1,213 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/sim"
+)
+
+func newPPO(headSizes []int, stateDim int, seed int64) *PPO {
+	rng := sim.NewRNG(seed)
+	net := nn.NewActorCritic(stateDim, 16, headSizes, rng)
+	cfg := DefaultConfig()
+	cfg.LR = 3e-3 // faster for tiny test problems
+	return New(net, cfg, rng)
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Gamma != 0.9 {
+		t.Fatalf("gamma = %v, want 0.9 (Table 3)", cfg.Gamma)
+	}
+	if cfg.LR != 1e-4 {
+		t.Fatalf("lr = %v, want 1e-4 (Table 3)", cfg.LR)
+	}
+	if cfg.MiniBatch != 32 {
+		t.Fatalf("batch = %v, want 32 (Table 3)", cfg.MiniBatch)
+	}
+}
+
+func TestActShapesAndLogProb(t *testing.T) {
+	p := newPPO([]int{4, 3, 2}, 5, 1)
+	state := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	actions, lp, _ := p.Act(state)
+	if len(actions) != 3 {
+		t.Fatalf("actions = %v", actions)
+	}
+	for k, hs := range []int{4, 3, 2} {
+		if actions[k] < 0 || actions[k] >= hs {
+			t.Fatalf("head %d action %d out of range", k, actions[k])
+		}
+	}
+	if lp >= 0 {
+		t.Fatalf("joint log-prob = %v, must be negative", lp)
+	}
+	// Joint log-prob of a 3-head uniform-ish policy must be ≤ per-head.
+	if lp > math.Log(1.0/2.0) {
+		t.Fatalf("log-prob %v implausibly high for 4*3*2 action space", lp)
+	}
+}
+
+func TestActGreedyDeterministic(t *testing.T) {
+	p := newPPO([]int{4, 3}, 4, 2)
+	state := []float64{1, 2, 3, 4}
+	a1 := p.ActGreedy(state)
+	a2 := p.ActGreedy(state)
+	for k := range a1 {
+		if a1[k] != a2[k] {
+			t.Fatal("greedy action not deterministic")
+		}
+	}
+}
+
+func TestGAEComputation(t *testing.T) {
+	// Hand-checkable case: single transition, done, reward 1, value 0.
+	p := newPPO([]int{2}, 2, 3)
+	var buf Buffer
+	state := []float64{0, 0}
+	buf.Add(Transition{State: state, Actions: []int{0}, LogProb: math.Log(0.5), Value: 0, Reward: 1, Done: true})
+	st := p.Train(&buf, 0)
+	if st.Steps != 1 {
+		t.Fatalf("steps = %d", st.Steps)
+	}
+	// advantage = reward - value = 1; return = 1.
+	if math.Abs(st.MeanReturn-1) > 1e-9 {
+		t.Fatalf("mean return = %v, want 1", st.MeanReturn)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("buffer must be consumed")
+	}
+}
+
+func TestTrainEmptyBuffer(t *testing.T) {
+	p := newPPO([]int{2}, 2, 4)
+	var buf Buffer
+	st := p.Train(&buf, 0)
+	if st.Steps != 0 {
+		t.Fatal("empty train must be a no-op")
+	}
+}
+
+// A one-step bandit: action 1 of head 0 yields reward 1, action 0 yields
+// 0. PPO must learn to prefer action 1.
+func TestPPOLearnsBandit(t *testing.T) {
+	p := newPPO([]int{2}, 2, 5)
+	state := []float64{1, 0}
+	for iter := 0; iter < 60; iter++ {
+		var buf Buffer
+		for i := 0; i < 64; i++ {
+			a, lp, v := p.Act(state)
+			r := 0.0
+			if a[0] == 1 {
+				r = 1
+			}
+			buf.Add(Transition{State: state, Actions: a, LogProb: lp, Value: v, Reward: r, Done: true})
+		}
+		p.Train(&buf, 0)
+	}
+	wins := 0
+	for i := 0; i < 100; i++ {
+		a, _, _ := p.Act(state)
+		if a[0] == 1 {
+			wins++
+		}
+	}
+	if wins < 80 {
+		t.Fatalf("bandit not learned: %d/100 optimal actions", wins)
+	}
+}
+
+// Multi-head bandit: reward only when head0=2 AND head1=0. Checks that the
+// joint log-prob machinery trains all heads.
+func TestPPOLearnsJointBandit(t *testing.T) {
+	p := newPPO([]int{3, 2}, 2, 6)
+	state := []float64{0.5, -0.5}
+	for iter := 0; iter < 120; iter++ {
+		var buf Buffer
+		for i := 0; i < 64; i++ {
+			a, lp, v := p.Act(state)
+			r := 0.0
+			if a[0] == 2 && a[1] == 0 {
+				r = 1
+			}
+			buf.Add(Transition{State: state, Actions: a, LogProb: lp, Value: v, Reward: r, Done: true})
+		}
+		p.Train(&buf, 0)
+	}
+	wins := 0
+	for i := 0; i < 100; i++ {
+		a, _, _ := p.Act(state)
+		if a[0] == 2 && a[1] == 0 {
+			wins++
+		}
+	}
+	if wins < 70 {
+		t.Fatalf("joint bandit not learned: %d/100", wins)
+	}
+}
+
+// Contextual bandit: optimal action depends on the state. Checks the
+// network actually conditions on input.
+func TestPPOLearnsContextual(t *testing.T) {
+	p := newPPO([]int{2}, 2, 7)
+	states := [][]float64{{1, 0}, {0, 1}}
+	best := []int{0, 1}
+	for iter := 0; iter < 150; iter++ {
+		var buf Buffer
+		for i := 0; i < 64; i++ {
+			s := states[i%2]
+			a, lp, v := p.Act(s)
+			r := 0.0
+			if a[0] == best[i%2] {
+				r = 1
+			}
+			buf.Add(Transition{State: s, Actions: a, LogProb: lp, Value: v, Reward: r, Done: true})
+		}
+		p.Train(&buf, 0)
+	}
+	for ctx := 0; ctx < 2; ctx++ {
+		wins := 0
+		for i := 0; i < 100; i++ {
+			a, _, _ := p.Act(states[ctx])
+			if a[0] == best[ctx] {
+				wins++
+			}
+		}
+		if wins < 70 {
+			t.Fatalf("context %d not learned: %d/100", ctx, wins)
+		}
+	}
+}
+
+func TestValueLearnsReturns(t *testing.T) {
+	// Constant reward 1 with γ=0.9 and non-terminal steps → value ≈ 10.
+	p := newPPO([]int{2}, 2, 8)
+	state := []float64{1, 1}
+	for iter := 0; iter < 150; iter++ {
+		var buf Buffer
+		for i := 0; i < 64; i++ {
+			a, lp, v := p.Act(state)
+			buf.Add(Transition{State: state, Actions: a, LogProb: lp, Value: v, Reward: 1, Done: false})
+		}
+		p.Train(&buf, p.Value(state))
+	}
+	v := p.Value(state)
+	if v < 5 || v > 15 {
+		t.Fatalf("value = %v, want ≈ 10 for discounted constant reward", v)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{1, 2, 3, 4})
+	if m != 2.5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if math.Abs(s-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("std = %v", s)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty meanStd must be 0,0")
+	}
+}

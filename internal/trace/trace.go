@@ -1,0 +1,124 @@
+// Package trace defines the block-level I/O trace records FleetIO collects
+// from each vSSD (used for workload-type clustering, §3.4) and a compact
+// binary encoding for storing and replaying them.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Record is one block I/O: timestamp, direction, starting logical page,
+// and length in pages.
+type Record struct {
+	At    sim.Time
+	Write bool
+	LPN   int64
+	Pages int32
+}
+
+// Bytes returns the payload size given the page size.
+func (r Record) Bytes(pageSize int) int64 { return int64(r.Pages) * int64(pageSize) }
+
+const magic = uint32(0xF1EE70)
+
+// Write encodes records to w in the compact binary format.
+func Write(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(recs)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 21)
+	for _, r := range recs {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(r.At))
+		if r.Write {
+			buf[8] = 1
+		} else {
+			buf[8] = 0
+		}
+		binary.LittleEndian.PutUint64(buf[9:17], uint64(r.LPN))
+		binary.LittleEndian.PutUint32(buf[17:21], uint32(r.Pages))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace written by Write.
+func Read(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != magic {
+		return nil, fmt.Errorf("trace: bad magic")
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:12])
+	recs := make([]Record, 0, n)
+	buf := make([]byte, 21)
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		recs = append(recs, Record{
+			At:    sim.Time(binary.LittleEndian.Uint64(buf[0:8])),
+			Write: buf[8] == 1,
+			LPN:   int64(binary.LittleEndian.Uint64(buf[9:17])),
+			Pages: int32(binary.LittleEndian.Uint32(buf[17:21])),
+		})
+	}
+	return recs, nil
+}
+
+// Recorder accumulates records in memory (bounded by cap if >0, keeping
+// the most recent ones in a ring).
+type Recorder struct {
+	recs  []Record
+	limit int
+	next  int
+	full  bool
+}
+
+// NewRecorder returns a recorder keeping at most limit records (0 =
+// unbounded).
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// Add appends a record.
+func (rc *Recorder) Add(r Record) {
+	if rc.limit <= 0 {
+		rc.recs = append(rc.recs, r)
+		return
+	}
+	if len(rc.recs) < rc.limit {
+		rc.recs = append(rc.recs, r)
+		return
+	}
+	rc.recs[rc.next] = r
+	rc.next = (rc.next + 1) % rc.limit
+	rc.full = true
+}
+
+// Records returns the recorded entries in arrival order.
+func (rc *Recorder) Records() []Record {
+	if !rc.full {
+		return append([]Record(nil), rc.recs...)
+	}
+	out := make([]Record, 0, len(rc.recs))
+	out = append(out, rc.recs[rc.next:]...)
+	out = append(out, rc.recs[:rc.next]...)
+	return out
+}
+
+// Len returns the number of records held.
+func (rc *Recorder) Len() int { return len(rc.recs) }

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := []Record{
+		{At: 100, Write: true, LPN: 42, Pages: 8},
+		{At: 200, Write: false, LPN: 7, Pages: 1},
+		{At: 300, Write: false, LPN: 1 << 40, Pages: 64},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("got %d records", len(back))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace file..."))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []Record{{At: 1, LPN: 2, Pages: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(ats []int64, lpns []int64, pages []uint16) bool {
+		n := len(ats)
+		if len(lpns) < n {
+			n = len(lpns)
+		}
+		if len(pages) < n {
+			n = len(pages)
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Record{
+				At:    abs64(ats[i]),
+				Write: ats[i]%2 == 0,
+				LPN:   abs64(lpns[i]),
+				Pages: int32(pages[i]),
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil || len(back) != n {
+			return false
+		}
+		for i := range recs {
+			if back[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		if v == -1<<63 {
+			return 0
+		}
+		return -v
+	}
+	return v
+}
+
+func TestRecordBytes(t *testing.T) {
+	r := Record{Pages: 4}
+	if r.Bytes(16384) != 65536 {
+		t.Fatalf("bytes = %d", r.Bytes(16384))
+	}
+}
+
+func TestRecorderUnbounded(t *testing.T) {
+	rc := NewRecorder(0)
+	for i := 0; i < 100; i++ {
+		rc.Add(Record{At: int64(i)})
+	}
+	recs := rc.Records()
+	if len(recs) != 100 || recs[0].At != 0 || recs[99].At != 99 {
+		t.Fatalf("unbounded recorder wrong: %d records", len(recs))
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	rc := NewRecorder(10)
+	for i := 0; i < 25; i++ {
+		rc.Add(Record{At: int64(i)})
+	}
+	recs := rc.Records()
+	if len(recs) != 10 {
+		t.Fatalf("ring holds %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.At != int64(15+i) {
+			t.Fatalf("ring order wrong at %d: %d", i, r.At)
+		}
+	}
+	if rc.Len() != 10 {
+		t.Fatalf("len = %d", rc.Len())
+	}
+}

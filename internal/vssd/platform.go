@@ -1,0 +1,256 @@
+package vssd
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/gsb"
+	"repro/internal/sim"
+)
+
+// PlatformConfig holds device-wide knobs.
+type PlatformConfig struct {
+	Flash flash.Config
+	// Overprovision is the fraction of raw capacity withheld from logical
+	// space (Table 3: 20%).
+	Overprovision float64
+	// GCThreshold is the lazy-GC free-block fraction (Table 3 text: 20%).
+	GCThreshold float64
+}
+
+// DefaultPlatformConfig mirrors the paper's Table 3.
+func DefaultPlatformConfig() PlatformConfig {
+	return PlatformConfig{
+		Flash:         flash.DefaultConfig(),
+		Overprovision: 0.20,
+		GCThreshold:   0.20,
+	}
+}
+
+// Platform is one shared SSD with its collocated vSSDs — the unit every
+// experiment runs against.
+type Platform struct {
+	eng  *sim.Engine
+	dev  *flash.Device
+	ftlm *ftl.Manager
+	gsbm *gsb.Manager
+	cfg  flash.Config
+
+	vssds []*VSSD
+
+	overprovision float64
+	opsSubmitted  int64
+}
+
+// NewPlatform builds the device, FTL, and gSB manager on the engine.
+func NewPlatform(eng *sim.Engine, pc PlatformConfig) *Platform {
+	dev := flash.NewDevice(eng, pc.Flash)
+	ftlm := ftl.NewManager(eng, dev)
+	if pc.GCThreshold > 0 {
+		ftlm.GCThreshold = pc.GCThreshold
+	}
+	p := &Platform{
+		eng:  eng,
+		dev:  dev,
+		ftlm: ftlm,
+		cfg:  pc.Flash,
+	}
+	p.gsbm = gsb.NewManager(ftlm, pc.Flash.Channels, pc.Flash.ChannelBandwidth())
+	ftlm.Submit = p.submit
+	p.overprovision = pc.Overprovision
+	return p
+}
+
+// Engine returns the simulation engine.
+func (p *Platform) Engine() *sim.Engine { return p.eng }
+
+// Device returns the flash device.
+func (p *Platform) Device() *flash.Device { return p.dev }
+
+// FTL returns the FTL manager.
+func (p *Platform) FTL() *ftl.Manager { return p.ftlm }
+
+// GSB returns the ghost-superblock manager.
+func (p *Platform) GSB() *gsb.Manager { return p.gsbm }
+
+// FlashConfig returns the device geometry.
+func (p *Platform) FlashConfig() flash.Config { return p.cfg }
+
+// VSSDs returns the platform's vSSDs in creation order.
+func (p *Platform) VSSDs() []*VSSD { return p.vssds }
+
+// VSSD returns the vSSD with the given id.
+func (p *Platform) VSSD(id int) *VSSD { return p.vssds[id] }
+
+// submit is the single funnel for flash ops (host and GC), keeping a
+// global op count for overhead accounting.
+func (p *Platform) submit(op *flash.Op) {
+	p.opsSubmitted++
+	p.dev.Submit(op)
+}
+
+// OpsSubmitted returns the total flash commands issued so far.
+func (p *Platform) OpsSubmitted() int64 { return p.opsSubmitted }
+
+// AddVSSD creates a vSSD owning (or sharing) the configured channels.
+func (p *Platform) AddVSSD(cfg Config) *VSSD {
+	id := len(p.vssds)
+	logical := cfg.LogicalPages
+	if logical <= 0 {
+		blocks := len(cfg.Channels) * p.cfg.ChipsPerChannel * p.cfg.BlocksPerChip
+		logical = int(float64(blocks*p.cfg.PagesPerBlock) * (1 - p.overprovision))
+		if cfg.Isolation == SoftwareIsolated {
+			// Shared channels: assume an equal logical split is configured
+			// by the caller; default to a half share to stay safe.
+			logical /= 2
+		}
+	}
+	if logical <= 0 {
+		panic("vssd: zero logical capacity")
+	}
+	tenant := ftl.NewTenant(p.ftlm, id, cfg.Channels, logical)
+	v := &VSSD{
+		id:       id,
+		cfg:      cfg,
+		plat:     p,
+		tenant:   tenant,
+		priority: ftl.PriorityMed,
+		slo:      cfg.SLO,
+	}
+	if cfg.RateLimitBps > 0 && cfg.BurstBytes <= 0 {
+		v.cfg.BurstBytes = cfg.RateLimitBps
+	}
+	v.tokens = v.cfg.BurstBytes
+	p.vssds = append(p.vssds, v)
+	return v
+}
+
+// ActionKind enumerates the RL/baseline actions the platform can execute.
+type ActionKind uint8
+
+// Action kinds: the paper's three RL actions (Table 2) plus the channel
+// repartitioning used by the SSDKeeper/Adaptive baselines and rate-limit
+// tuning used by Software Isolation.
+const (
+	ActHarvest ActionKind = iota
+	ActMakeHarvestable
+	ActSetPriority
+	ActSetChannels
+	ActSetRateLimit
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActHarvest:
+		return "Harvest"
+	case ActMakeHarvestable:
+		return "Make_Harvestable"
+	case ActSetPriority:
+		return "Set_Priority"
+	case ActSetChannels:
+		return "Set_Channels"
+	case ActSetRateLimit:
+		return "Set_RateLimit"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", uint8(k))
+	}
+}
+
+// Action is one decision issued by a policy for one vSSD.
+type Action struct {
+	VSSD int
+	Kind ActionKind
+	// BW is the gsb_bw operand of Harvest/Make_Harvestable, or the rate of
+	// SetRateLimit, in bytes/s.
+	BW float64
+	// Level is the Set_Priority operand.
+	Level int
+	// Channels is the Set_Channels operand.
+	Channels []int
+}
+
+// Apply executes one action immediately. (The admission controller batches
+// and filters harvest-related actions before calling this — §3.5.)
+func (p *Platform) Apply(a Action) {
+	v := p.vssds[a.VSSD]
+	switch a.Kind {
+	case ActSetPriority:
+		v.SetPriority(a.Level)
+	case ActMakeHarvestable:
+		p.gsbm.SetHarvestable(v.tenant, p.gsbm.ChannelsFor(a.BW))
+	case ActHarvest:
+		p.applyHarvestTarget(v, p.gsbm.ChannelsFor(a.BW))
+	case ActSetChannels:
+		v.tenant.SetChannels(a.Channels)
+	case ActSetRateLimit:
+		v.SetRateLimit(a.BW, 0)
+	default:
+		panic(fmt.Sprintf("vssd: unknown action %v", a.Kind))
+	}
+}
+
+// applyHarvestTarget moves the vSSD's harvested-channel count toward the
+// target: harvesting more gSBs on a deficit, releasing its widest gSBs on
+// a surplus.
+func (p *Platform) applyHarvestTarget(v *VSSD, target int) {
+	cur := p.gsbm.HarvestedChannels(v.id)
+	if target > cur {
+		deficit := target - cur
+		for deficit > 0 {
+			g := p.gsbm.HarvestFor(v.tenant, deficit)
+			if g == nil {
+				break
+			}
+			deficit -= g.NChls
+		}
+		return
+	}
+	if target < cur {
+		surplus := cur - target
+		for _, g := range p.gsbm.HarvestedBy(v.id) {
+			if surplus <= 0 {
+				break
+			}
+			if g.Reclaiming {
+				continue
+			}
+			if g.NChls <= surplus {
+				p.gsbm.Release(g)
+				surplus -= g.NChls
+			}
+		}
+	}
+}
+
+// Utilization computes the SSD bandwidth utilization over [from, to):
+// payload bytes moved by all channels divided by the device's peak
+// aggregate bandwidth for that interval. Callers snapshot TotalBytes
+// before and after.
+func (p *Platform) Utilization(bytesMoved int64, dur sim.Time) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	peak := p.cfg.ChannelBandwidth() * float64(p.cfg.Channels)
+	return float64(bytesMoved) / (peak * float64(dur) / 1e9)
+}
+
+// TotalBytes returns the payload bytes moved by the device so far.
+func (p *Platform) TotalBytes() int64 {
+	var total int64
+	for ch := 0; ch < p.cfg.Channels; ch++ {
+		st := p.dev.Stats(ch)
+		total += st.BytesRead + st.BytesWritten
+	}
+	return total
+}
+
+// HostBytes returns payload bytes from completed host requests only
+// (excluding GC traffic), summed over all vSSDs since creation.
+func (p *Platform) HostBytes() int64 {
+	var total int64
+	for _, v := range p.vssds {
+		total += v.totalBytes
+	}
+	return total
+}

@@ -1,0 +1,384 @@
+// Package vssd implements the virtual SSD layer of the FleetIO
+// reproduction: per-tenant request queues, the software-isolation machinery
+// (token-bucket rate limiting and stride scheduling), priority scheduling
+// (the Set_Priority action), and the Platform that wires workloads, the
+// flash device, the FTL, and the ghost-superblock manager together.
+package vssd
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+	"repro/internal/ftl"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Isolation selects how a vSSD shares flash channels.
+type Isolation uint8
+
+// Isolation modes (§2.1).
+const (
+	// HardwareIsolated vSSDs own their channels exclusively.
+	HardwareIsolated Isolation = iota
+	// SoftwareIsolated vSSDs share channels, throttled by a token bucket
+	// and ordered by stride scheduling.
+	SoftwareIsolated
+)
+
+func (i Isolation) String() string {
+	if i == HardwareIsolated {
+		return "hardware"
+	}
+	return "software"
+}
+
+// Request is one host I/O: a contiguous run of logical pages, read or
+// written, against one vSSD. OnComplete (optional) fires when the last
+// page finishes, letting closed-loop workloads chain their next request.
+type Request struct {
+	VSSD    int
+	Write   bool
+	LPN     int
+	Pages   int
+	Arrival sim.Time
+
+	OnComplete func(r *Request, finished sim.Time)
+
+	remaining     int
+	firstDispatch sim.Time
+	enqueued      bool
+}
+
+// Bytes returns the payload size of the request.
+func (r *Request) Bytes(pageSize int) int64 { return int64(r.Pages) * int64(pageSize) }
+
+// Config holds the per-vSSD policy knobs.
+type Config struct {
+	Name      string
+	Isolation Isolation
+	// Channels initially owned (hardware-isolated) or shared (software).
+	Channels []int
+	// LogicalPages is the tenant's logical capacity; 0 derives it from the
+	// owned channels and the platform overprovision ratio.
+	LogicalPages int
+	// SLO is the per-request latency objective; violations feed the RL
+	// state and reward. 0 disables violation tracking until calibrated.
+	SLO sim.Time
+	// RateLimitBps enables token-bucket throttling (software isolation).
+	RateLimitBps float64
+	// BurstBytes is the bucket depth; 0 defaults to one second of rate.
+	BurstBytes float64
+	// Tickets sets the stride-scheduling share (default 100).
+	Tickets int
+	// MaxInflightPages caps the page ops a vSSD keeps dispatched (host
+	// queue depth). 0 defaults to 4 per owned channel.
+	MaxInflightPages int
+}
+
+// strideConst is the stride numerator (Waldspurger's stride1).
+const strideConst = 1 << 20
+
+// VSSD is one virtual SSD instance.
+type VSSD struct {
+	id     int
+	cfg    Config
+	plat   *Platform
+	tenant *ftl.Tenant
+
+	priority int
+
+	queue    []*Request
+	inflight int
+
+	tokens     float64
+	lastRefill sim.Time
+	pumpArmed  bool
+
+	pass   float64
+	stride float64
+
+	window     metrics.Window
+	windowAt   sim.Time
+	totalHist  metrics.Histogram
+	completed  int64
+	totalBytes int64
+
+	slo sim.Time
+}
+
+// ID returns the platform-assigned index of the vSSD.
+func (v *VSSD) ID() int { return v.id }
+
+// Name returns the configured display name.
+func (v *VSSD) Name() string { return v.cfg.Name }
+
+// Tenant exposes the underlying FTL tenant.
+func (v *VSSD) Tenant() *ftl.Tenant { return v.tenant }
+
+// Priority returns the current I/O priority level.
+func (v *VSSD) Priority() int { return v.priority }
+
+// SetPriority applies the Set_Priority(level) action. Levels outside
+// [PriorityLow, PriorityHigh] are clamped.
+func (v *VSSD) SetPriority(level int) {
+	if level < ftl.PriorityLow {
+		level = ftl.PriorityLow
+	}
+	if level > ftl.PriorityHigh {
+		level = ftl.PriorityHigh
+	}
+	v.priority = level
+}
+
+// SLO returns the current latency objective.
+func (v *VSSD) SLO() sim.Time { return v.slo }
+
+// SetSLO installs a latency objective (used after calibration runs).
+func (v *VSSD) SetSLO(slo sim.Time) { v.slo = slo }
+
+// SetRateLimit reconfigures the token bucket (0 disables throttling).
+func (v *VSSD) SetRateLimit(bps, burst float64) {
+	v.cfg.RateLimitBps = bps
+	if burst <= 0 {
+		burst = bps
+	}
+	v.cfg.BurstBytes = burst
+	if v.tokens > burst {
+		v.tokens = burst
+	}
+}
+
+// QueueLen returns the number of requests waiting for dispatch.
+func (v *VSSD) QueueLen() int { return len(v.queue) }
+
+// Inflight returns dispatched-but-incomplete page ops.
+func (v *VSSD) Inflight() int { return v.inflight }
+
+// Completed returns the total requests finished since creation.
+func (v *VSSD) Completed() int64 { return v.completed }
+
+// TotalHist returns the whole-run latency histogram.
+func (v *VSSD) TotalHist() *metrics.Histogram { return &v.totalHist }
+
+// TotalBytesMoved returns the payload bytes of completed host requests
+// since creation (or the last ResetTotals).
+func (v *VSSD) TotalBytesMoved() int64 { return v.totalBytes }
+
+// ResetTotals clears the run-level counters (histogram, completion count,
+// byte totals) at a measurement boundary; in-flight requests keep
+// completing into the fresh counters.
+func (v *VSSD) ResetTotals() {
+	v.totalHist.Reset()
+	v.completed = 0
+	v.totalBytes = 0
+}
+
+// Submit enqueues a request and pumps the dispatch loop.
+func (v *VSSD) Submit(r *Request) {
+	if r.Pages <= 0 {
+		panic(fmt.Sprintf("vssd: request with %d pages", r.Pages))
+	}
+	if r.enqueued {
+		panic("vssd: request submitted twice")
+	}
+	r.enqueued = true
+	r.VSSD = v.id
+	r.Arrival = v.plat.eng.Now()
+	r.remaining = r.Pages
+	v.queue = append(v.queue, r)
+	v.pump()
+}
+
+// refillTokens advances the token bucket to now.
+func (v *VSSD) refillTokens() {
+	now := v.plat.eng.Now()
+	if v.cfg.RateLimitBps <= 0 {
+		v.lastRefill = now
+		return
+	}
+	dt := float64(now-v.lastRefill) / 1e9
+	v.tokens += dt * v.cfg.RateLimitBps
+	if v.tokens > v.cfg.BurstBytes {
+		v.tokens = v.cfg.BurstBytes
+	}
+	v.lastRefill = now
+}
+
+// pump admits queued requests while the inflight budget and token bucket
+// allow, splitting each admitted request into per-page flash ops.
+func (v *VSSD) pump() {
+	v.refillTokens()
+	pageSize := v.plat.cfg.PageSize
+	for len(v.queue) > 0 && v.inflight < v.maxInflight() {
+		r := v.queue[0]
+		if v.cfg.RateLimitBps > 0 {
+			need := float64(r.Bytes(pageSize))
+			if v.tokens < need {
+				v.armPump(need)
+				return
+			}
+			v.tokens -= need
+		}
+		v.queue = v.queue[1:]
+		v.dispatch(r)
+	}
+}
+
+// armPump schedules a future pump for when the bucket will hold `need`
+// bytes of tokens.
+func (v *VSSD) armPump(need float64) {
+	if v.pumpArmed {
+		return
+	}
+	wait := sim.Time((need - v.tokens) / v.cfg.RateLimitBps * 1e9)
+	if wait < sim.Microsecond {
+		wait = sim.Microsecond
+	}
+	v.pumpArmed = true
+	v.plat.eng.Schedule(wait, func() {
+		v.pumpArmed = false
+		v.pump()
+	})
+}
+
+func (v *VSSD) maxInflight() int {
+	if v.cfg.MaxInflightPages > 0 {
+		return v.cfg.MaxInflightPages
+	}
+	n := 4 * len(v.tenant.Channels())
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// dispatch splits r into page ops and submits them to the device.
+func (v *VSSD) dispatch(r *Request) {
+	now := v.plat.eng.Now()
+	if r.firstDispatch == 0 {
+		r.firstDispatch = now
+	}
+	for i := 0; i < r.Pages; i++ {
+		lpn := r.LPN + i
+		if lpn >= v.tenant.LogicalPages() {
+			lpn %= v.tenant.LogicalPages()
+		}
+		if r.Write {
+			v.dispatchWrite(r, lpn)
+		} else {
+			v.dispatchRead(r, lpn)
+		}
+	}
+}
+
+func (v *VSSD) dispatchWrite(r *Request, lpn int) {
+	ppa, ok := v.tenant.AllocatePage(lpn, false)
+	if !ok {
+		// Out of space right now: let GC make progress and retry.
+		v.plat.eng.Schedule(sim.Millisecond, func() { v.dispatchWrite(r, lpn) })
+		return
+	}
+	v.inflight++
+	v.tenant.RecordHostProgram()
+	v.stride = strideConst / float64(v.tickets())
+	v.pass += v.stride
+	v.plat.submit(&flash.Op{
+		Kind:     flash.OpProgram,
+		Addr:     ppa,
+		Tenant:   v.id,
+		Priority: v.priority,
+		Pass:     v.pass,
+		Done:     func(at sim.Time) { v.pageDone(r, at) },
+	})
+}
+
+func (v *VSSD) dispatchRead(r *Request, lpn int) {
+	ppa, ok := v.tenant.Lookup(lpn)
+	if !ok {
+		// Reading never-written data: served from the mapping table with
+		// no flash access (a zero-fill read), modelled as a short constant.
+		v.inflight++
+		v.plat.eng.Schedule(5*sim.Microsecond, func() { v.pageDone(r, v.plat.eng.Now()) })
+		return
+	}
+	v.inflight++
+	v.stride = strideConst / float64(v.tickets())
+	v.pass += v.stride
+	v.plat.submit(&flash.Op{
+		Kind:     flash.OpRead,
+		Addr:     ppa,
+		Tenant:   v.id,
+		Priority: v.priority,
+		Pass:     v.pass,
+		Done:     func(at sim.Time) { v.pageDone(r, at) },
+	})
+}
+
+func (v *VSSD) tickets() int {
+	if v.cfg.Tickets > 0 {
+		return v.cfg.Tickets
+	}
+	return 100
+}
+
+// pageDone accounts a finished page op and completes the request when all
+// its pages are in.
+func (v *VSSD) pageDone(r *Request, at sim.Time) {
+	v.inflight--
+	r.remaining--
+	if r.remaining == 0 {
+		lat := at - r.Arrival
+		qd := r.firstDispatch - r.Arrival
+		v.window.Complete(r.Write, r.Bytes(v.plat.cfg.PageSize), lat, qd, v.slo)
+		v.totalHist.Add(lat)
+		v.completed++
+		v.totalBytes += r.Bytes(v.plat.cfg.PageSize)
+		if r.OnComplete != nil {
+			r.OnComplete(r, at)
+		}
+	}
+	v.pump()
+}
+
+// WindowSnapshot captures one decision window of a vSSD: the completed-I/O
+// counters plus the instantaneous state the RL agent needs (Table 1).
+type WindowSnapshot struct {
+	VSSD     int
+	Start    sim.Time
+	Duration sim.Time
+	Window   metrics.Window
+
+	QueueLen          int
+	InflightPages     int
+	AvailCapacity     int64 // bytes of unmapped logical space
+	InGC              bool
+	Priority          int
+	OwnedChannels     int
+	HarvestedChannels int
+	SLO               sim.Time
+}
+
+// Rotate returns the finished window and starts a new one.
+func (v *VSSD) Rotate() WindowSnapshot {
+	now := v.plat.eng.Now()
+	snap := WindowSnapshot{
+		VSSD:          v.id,
+		Start:         v.windowAt,
+		Duration:      now - v.windowAt,
+		Window:        v.window,
+		QueueLen:      len(v.queue),
+		InflightPages: v.inflight,
+		AvailCapacity: (int64(v.tenant.LogicalPages()) - v.tenant.MappedPages()) * int64(v.plat.cfg.PageSize),
+		InGC:          v.tenant.InGC(),
+		Priority:      v.priority,
+		OwnedChannels: len(v.tenant.Channels()),
+		SLO:           v.slo,
+	}
+	if v.plat.gsbm != nil {
+		snap.HarvestedChannels = v.plat.gsbm.HarvestedChannels(v.id)
+	}
+	v.window.Reset()
+	v.windowAt = now
+	return snap
+}

@@ -1,0 +1,365 @@
+// Package workload provides synthetic generators for the nine cloud
+// workloads the paper uses (Table 4 for evaluation; §3.8 lists the
+// pretraining set). The paper runs the real applications; this
+// reproduction parameterizes each one in exactly the features FleetIO
+// observes — IOPS process, request-size mix, read/write ratio, address
+// locality (LPA entropy), sequentiality, and phase structure — so the
+// clustering, reward fine-tuning, and bandwidth/latency contrasts exercise
+// the same code paths.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vssd"
+)
+
+// Class tags a workload as bandwidth-intensive or latency-sensitive
+// (Table 4's two categories).
+type Class uint8
+
+// Workload classes.
+const (
+	Bandwidth Class = iota
+	Latency
+)
+
+func (c Class) String() string {
+	if c == Bandwidth {
+		return "bandwidth-intensive"
+	}
+	return "latency-sensitive"
+}
+
+// Phase scales a workload's intensity for a duration; profiles cycle
+// through their phases, producing the dynamic demand that storage
+// harvesting exploits.
+type Phase struct {
+	Dur    sim.Time
+	Factor float64
+}
+
+// Profile is a fully parameterized workload.
+type Profile struct {
+	Name  string
+	Class Class
+
+	// ClosedLoop keeps Concurrency requests in flight (bandwidth-hungry
+	// batch jobs); otherwise arrivals are an open-loop Poisson process at
+	// MeanIOPS.
+	ClosedLoop  bool
+	Concurrency int
+	MeanIOPS    float64
+
+	// ReadRatio is the fraction of requests that are reads.
+	ReadRatio float64
+	// PagesMin/PagesMax bound the uniform request size in pages.
+	PagesMin, PagesMax int
+	// SeqProb is the probability of continuing a sequential run instead of
+	// jumping to a Zipf-random offset.
+	SeqProb float64
+	// ZipfSkew shapes random jumps (1.0 = uniform; higher = more local).
+	ZipfSkew float64
+	// WorkingSetFrac bounds the touched fraction of the logical space.
+	WorkingSetFrac float64
+	// Phases modulate intensity; empty means constant.
+	Phases []Phase
+	// MaxInflightPages overrides the vSSD inflight cap (0 = default).
+	MaxInflightPages int
+}
+
+// Validate reports profile errors.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: empty name")
+	case p.ClosedLoop && p.Concurrency <= 0:
+		return fmt.Errorf("workload %s: closed loop needs concurrency", p.Name)
+	case !p.ClosedLoop && p.MeanIOPS <= 0:
+		return fmt.Errorf("workload %s: open loop needs IOPS", p.Name)
+	case p.ReadRatio < 0 || p.ReadRatio > 1:
+		return fmt.Errorf("workload %s: read ratio %v", p.Name, p.ReadRatio)
+	case p.PagesMin <= 0 || p.PagesMax < p.PagesMin:
+		return fmt.Errorf("workload %s: page bounds %d..%d", p.Name, p.PagesMin, p.PagesMax)
+	case p.SeqProb < 0 || p.SeqProb > 1:
+		return fmt.Errorf("workload %s: seq prob %v", p.Name, p.SeqProb)
+	case p.WorkingSetFrac <= 0 || p.WorkingSetFrac > 1:
+		return fmt.Errorf("workload %s: working set %v", p.Name, p.WorkingSetFrac)
+	}
+	return nil
+}
+
+// The nine workload profiles. Bandwidth-intensive jobs are closed-loop
+// streaming mixes; latency-sensitive services are open-loop with small
+// requests. YCSB-B gets a much higher Zipf skew than the other
+// latency-sensitive services so it forms its own low-entropy cluster
+// (Figure 6).
+var profiles = map[string]Profile{
+	"TeraSort": {
+		Name: "TeraSort", Class: Bandwidth, ClosedLoop: true, Concurrency: 12,
+		ReadRatio: 0.50, PagesMin: 16, PagesMax: 48, SeqProb: 0.92, ZipfSkew: 1.0,
+		WorkingSetFrac: 0.45, MaxInflightPages: 512,
+		Phases: []Phase{{8 * sim.Second, 1.0}, {4 * sim.Second, 0.7}},
+	},
+	"MLPrep": {
+		Name: "MLPrep", Class: Bandwidth, ClosedLoop: true, Concurrency: 10,
+		ReadRatio: 0.75, PagesMin: 12, PagesMax: 40, SeqProb: 0.88, ZipfSkew: 1.1,
+		WorkingSetFrac: 0.5, MaxInflightPages: 512,
+		Phases: []Phase{{6 * sim.Second, 1.0}, {3 * sim.Second, 0.8}},
+	},
+	"PageRank": {
+		Name: "PageRank", Class: Bandwidth, ClosedLoop: true, Concurrency: 14,
+		ReadRatio: 0.85, PagesMin: 16, PagesMax: 64, SeqProb: 0.90, ZipfSkew: 1.0,
+		WorkingSetFrac: 0.55, MaxInflightPages: 512,
+		Phases: []Phase{{10 * sim.Second, 1.0}, {2 * sim.Second, 0.5}},
+	},
+	"BatchAnalytics": {
+		Name: "BatchAnalytics", Class: Bandwidth, ClosedLoop: true, Concurrency: 8,
+		ReadRatio: 0.70, PagesMin: 8, PagesMax: 32, SeqProb: 0.85, ZipfSkew: 1.0,
+		WorkingSetFrac: 0.8, MaxInflightPages: 256,
+		Phases: []Phase{{5 * sim.Second, 1.0}, {5 * sim.Second, 0.6}},
+	},
+	"VDI-Web": {
+		Name: "VDI-Web", Class: Latency, MeanIOPS: 2200,
+		ReadRatio: 0.70, PagesMin: 1, PagesMax: 4, SeqProb: 0.15, ZipfSkew: 1.25,
+		WorkingSetFrac: 0.6, MaxInflightPages: 128,
+		Phases: []Phase{{4 * sim.Second, 1.3}, {4 * sim.Second, 0.5}, {4 * sim.Second, 1.0}},
+	},
+	"YCSB": {
+		Name: "YCSB", Class: Latency, MeanIOPS: 3200,
+		ReadRatio: 0.95, PagesMin: 1, PagesMax: 1, SeqProb: 0.05, ZipfSkew: 2.2,
+		WorkingSetFrac: 0.5, MaxInflightPages: 128,
+		Phases: []Phase{{5 * sim.Second, 1.2}, {5 * sim.Second, 0.6}},
+	},
+	"TPCE": {
+		Name: "TPCE", Class: Latency, MeanIOPS: 2600,
+		ReadRatio: 0.90, PagesMin: 1, PagesMax: 2, SeqProb: 0.10, ZipfSkew: 1.24,
+		WorkingSetFrac: 0.7, MaxInflightPages: 128,
+		Phases: []Phase{{6 * sim.Second, 1.1}, {3 * sim.Second, 0.7}},
+	},
+	"SearchEngine": {
+		Name: "SearchEngine", Class: Latency, MeanIOPS: 2000,
+		ReadRatio: 0.98, PagesMin: 1, PagesMax: 4, SeqProb: 0.12, ZipfSkew: 1.27,
+		WorkingSetFrac: 0.8, MaxInflightPages: 128,
+		Phases: []Phase{{4 * sim.Second, 1.4}, {6 * sim.Second, 0.6}},
+	},
+	"LiveMaps": {
+		Name: "LiveMaps", Class: Latency, MeanIOPS: 1600,
+		ReadRatio: 0.80, PagesMin: 2, PagesMax: 8, SeqProb: 0.25, ZipfSkew: 1.20,
+		WorkingSetFrac: 0.7, MaxInflightPages: 128,
+		Phases: []Phase{{5 * sim.Second, 1.0}, {5 * sim.Second, 0.8}},
+	},
+}
+
+// ByName returns the named profile; it panics on unknown names (profiles
+// are compile-time data, so a miss is a programming error).
+func ByName(name string) Profile {
+	p, ok := profiles[name]
+	if !ok {
+		panic(fmt.Sprintf("workload: unknown profile %q", name))
+	}
+	return p
+}
+
+// Names returns all profile names, evaluation set first.
+func Names() []string {
+	return []string{
+		"TeraSort", "MLPrep", "PageRank", "VDI-Web", "YCSB",
+		"TPCE", "SearchEngine", "LiveMaps", "BatchAnalytics",
+	}
+}
+
+// EvaluationBandwidth returns the bandwidth-intensive evaluation set.
+func EvaluationBandwidth() []string { return []string{"TeraSort", "MLPrep", "PageRank"} }
+
+// EvaluationLatency returns the latency-sensitive evaluation set.
+func EvaluationLatency() []string { return []string{"VDI-Web", "YCSB"} }
+
+// PretrainingSet returns the held-out workloads used for offline
+// pretraining (§3.8).
+func PretrainingSet() []string {
+	return []string{"LiveMaps", "TPCE", "SearchEngine", "BatchAnalytics"}
+}
+
+// addrState tracks the sequential pointer for address generation.
+type addrState struct {
+	seq int64
+}
+
+// nextAccess produces the next (write, lpn, pages) triple for the profile
+// over a logical space of `pages` pages.
+func (p Profile) nextAccess(rng *sim.RNG, st *addrState, logicalPages int) (write bool, lpn int64, n int) {
+	write = rng.Float64() >= p.ReadRatio
+	n = p.PagesMin
+	if p.PagesMax > p.PagesMin {
+		n += rng.Intn(p.PagesMax - p.PagesMin + 1)
+	}
+	ws := int64(float64(logicalPages) * p.WorkingSetFrac)
+	if ws < int64(n) {
+		ws = int64(n)
+	}
+	if rng.Float64() < p.SeqProb {
+		if st.seq+int64(n) > ws {
+			st.seq = 0 // wrap the sequential stream
+		}
+		lpn = st.seq
+	} else {
+		lpn = int64(rng.Zipf(int(ws), p.ZipfSkew))
+		if lpn+int64(n) > ws {
+			lpn = ws - int64(n)
+			if lpn < 0 {
+				lpn = 0
+			}
+		}
+	}
+	st.seq = lpn + int64(n) // the next sequential access continues here
+	return write, lpn, n
+}
+
+// phaseFactor returns the intensity multiplier at time t.
+func (p Profile) phaseFactor(t sim.Time) float64 {
+	if len(p.Phases) == 0 {
+		return 1
+	}
+	var cycle sim.Time
+	for _, ph := range p.Phases {
+		cycle += ph.Dur
+	}
+	if cycle <= 0 {
+		return 1
+	}
+	off := t % cycle
+	for _, ph := range p.Phases {
+		if off < ph.Dur {
+			return ph.Factor
+		}
+		off -= ph.Dur
+	}
+	return 1
+}
+
+// Generator drives a vSSD with the profile's traffic.
+type Generator struct {
+	prof    Profile
+	eng     *sim.Engine
+	v       *vssd.VSSD
+	rng     *sim.RNG
+	st      addrState
+	stopped bool
+	rec     *trace.Recorder
+	issued  int64
+}
+
+// NewGenerator binds a profile to a vSSD. Call Start to begin traffic.
+func NewGenerator(eng *sim.Engine, v *vssd.VSSD, prof Profile, rng *sim.RNG) *Generator {
+	if err := prof.Validate(); err != nil {
+		panic(err)
+	}
+	return &Generator{prof: prof, eng: eng, v: v, rng: rng}
+}
+
+// Record attaches a trace recorder capturing every issued request.
+func (g *Generator) Record(rec *trace.Recorder) { g.rec = rec }
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// Issued returns the number of requests issued so far.
+func (g *Generator) Issued() int64 { return g.issued }
+
+// Start launches the arrival process.
+func (g *Generator) Start() {
+	g.stopped = false
+	if g.prof.ClosedLoop {
+		for i := 0; i < g.prof.Concurrency; i++ {
+			g.issueClosed()
+		}
+		return
+	}
+	g.scheduleOpen()
+}
+
+// Stop halts new arrivals (in-flight requests complete normally).
+func (g *Generator) Stop() { g.stopped = true }
+
+func (g *Generator) issue(onComplete func(*vssd.Request, sim.Time)) {
+	write, lpn, n := g.prof.nextAccess(g.rng, &g.st, g.v.Tenant().LogicalPages())
+	if g.rec != nil {
+		g.rec.Add(trace.Record{At: g.eng.Now(), Write: write, LPN: lpn, Pages: int32(n)})
+	}
+	g.issued++
+	g.v.Submit(&vssd.Request{Write: write, LPN: int(lpn), Pages: n, OnComplete: onComplete})
+}
+
+func (g *Generator) issueClosed() {
+	if g.stopped {
+		return
+	}
+	// Phase factor < 1 models think time between batch stages.
+	g.issue(func(_ *vssd.Request, _ sim.Time) {
+		f := g.prof.phaseFactor(g.eng.Now())
+		if f >= 0.999 {
+			g.issueClosed()
+			return
+		}
+		if f < 0.05 {
+			f = 0.05
+		}
+		// Pause proportional to (1-f): at factor 0.5 the stream idles about
+		// one service time per request.
+		delay := sim.Time(float64(2*sim.Millisecond) * (1 - f) / f)
+		if delay < sim.Microsecond {
+			delay = sim.Microsecond
+		}
+		g.eng.Schedule(delay, func() { g.issueClosed() })
+	})
+}
+
+func (g *Generator) scheduleOpen() {
+	if g.stopped {
+		return
+	}
+	f := g.prof.phaseFactor(g.eng.Now())
+	rate := g.prof.MeanIOPS * f
+	if rate < 1 {
+		rate = 1
+	}
+	gap := g.rng.ExpDuration(sim.Time(1e9 / rate))
+	g.eng.Schedule(gap, func() {
+		if g.stopped {
+			return
+		}
+		g.issue(nil)
+		g.scheduleOpen()
+	})
+}
+
+// SynthesizeTrace produces n records of this profile without a simulator,
+// for clustering and offline analysis. Timestamps follow the open-loop
+// arrival model (closed-loop profiles use an effective IOPS estimated from
+// concurrency and a nominal 2 ms service time).
+func (p Profile) SynthesizeTrace(n int, logicalPages int, rng *sim.RNG) []trace.Record {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	rate := p.MeanIOPS
+	if p.ClosedLoop {
+		rate = float64(p.Concurrency) / 0.002
+	}
+	var st addrState
+	recs := make([]trace.Record, 0, n)
+	var now sim.Time
+	for i := 0; i < n; i++ {
+		f := p.phaseFactor(now)
+		r := rate * f
+		if r < 1 {
+			r = 1
+		}
+		now += rng.ExpDuration(sim.Time(1e9 / r))
+		write, lpn, np := p.nextAccess(rng, &st, logicalPages)
+		recs = append(recs, trace.Record{At: now, Write: write, LPN: lpn, Pages: int32(np)})
+	}
+	return recs
+}
