@@ -1,16 +1,21 @@
 // Command fleettrain pretrains the FleetIO PPO model offline on the
 // held-out workloads (§3.8) and writes it to a file for fleetbench and the
-// examples to load.
+// examples to load. Episode collection fans out across -workers parallel
+// simulators; -checkpoint-dir makes the run killable and resumable, and
+// -metrics records the training trajectory as JSONL.
 //
 // Usage:
 //
-//	fleettrain [-episodes N] [-episode-seconds S] [-out model.gob]
+//	fleettrain [-episodes N] [-episode-seconds S] [-workers W]
+//	           [-checkpoint-dir DIR] [-resume] [-metrics FILE]
+//	           [-out model.gob]
 package main
 
 import (
 	"flag"
 	"log"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/sim"
 )
@@ -23,6 +28,12 @@ func main() {
 	windowMs := flag.Int("window", 100, "decision window in milliseconds")
 	lr := flag.Float64("lr", 1e-3, "pretraining learning rate")
 	seed := flag.Int64("seed", 11, "seed")
+	workers := flag.Int("workers", 4, "parallel episode-collection workers")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for atomic training checkpoints (enables resume)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "rounds between checkpoints")
+	resume := flag.Bool("resume", false, "resume from the newest readable checkpoint in -checkpoint-dir")
+	metrics := flag.String("metrics", "", "append per-round training telemetry to this JSONL file")
+	evalEvery := flag.Int("eval-every", 1, "rounds between held-out eval episodes (0 disables best-model gating)")
 	out := flag.String("out", "fleetio_model.gob", "output model file")
 	flag.Parse()
 
@@ -32,12 +43,33 @@ func main() {
 		EpisodeDuration: sim.Time(*epSeconds * 1e9),
 		Window:          sim.Time(*windowMs) * sim.Millisecond,
 		LR:              *lr,
+		Workers:         *workers,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Resume:          *resume,
+		MetricsPath:     *metrics,
+		EvalEvery:       *evalEvery,
+		Logf:            log.Printf,
 	}
-	log.Printf("pretraining %d episodes x %.0fs virtual on held-out workloads...", pc.Episodes, *epSeconds)
-	net := harness.Pretrain(pc)
+	log.Printf("pretraining %d episodes x %.0fs virtual on held-out workloads (%d workers)...",
+		pc.Episodes, *epSeconds, *workers)
+	res, err := harness.PretrainRun(pc, core.ModeFull)
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	net := res.Final
+	which := "final"
+	if res.Best != nil {
+		net = res.Best
+		which = "best"
+		log.Printf("eval-gated best model: mean held-out reward %.4f", res.BestScore)
+	}
 	if err := net.SaveFile(*out); err != nil {
 		log.Fatalf("saving model: %v", err)
 	}
-	data, _ := net.Encode()
-	log.Printf("wrote %s (%d params, %d bytes)", *out, net.NumParams(), len(data))
+	data, err := net.Encode()
+	if err != nil {
+		log.Fatalf("encoding model for size report: %v", err)
+	}
+	log.Printf("wrote %s model to %s (%d params, %d bytes)", which, *out, net.NumParams(), len(data))
 }

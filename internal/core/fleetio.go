@@ -59,6 +59,10 @@ type FleetIOConfig struct {
 	// ShareModel makes all agents train one shared network (pretraining
 	// mode); otherwise each agent fine-tunes its own copy.
 	ShareModel bool
+	// GreedyCollect makes training-mode action selection greedy
+	// (ActGreedyEval) while still recording transitions; the trainer's
+	// held-out eval episodes use it to score a frozen policy snapshot.
+	GreedyCollect bool
 
 	// TypeModel classifies workloads for per-type α (§3.4); nil keeps the
 	// unified α.
@@ -187,6 +191,23 @@ func (f *FleetIO) Net(id int) *nn.ActorCritic { return f.agents[id].ppo.Net }
 // TrainStats returns PPO statistics collected so far.
 func (f *FleetIO) TrainStats() []rl.TrainStats { return f.trainStats }
 
+// DrainRollouts returns each agent's collected transitions as a fresh
+// buffer — the final transition of each marked episode-terminal — and
+// clears the per-agent buffers. Collection-only runs (TrainEvery set past
+// the episode length) use this to hand rollouts to an external learner.
+func (f *FleetIO) DrainRollouts() []*rl.Buffer {
+	out := make([]*rl.Buffer, len(f.agents))
+	for i, a := range f.agents {
+		b := &rl.Buffer{}
+		b.Append(&a.buf)
+		b.MarkDone()
+		a.buf.Reset()
+		a.pending = false
+		out[i] = b
+	}
+	return out
+}
+
 // Decide implements Policy: reward the previous actions (Eq. 1 + Eq. 2),
 // train periodically, re-type workloads, then act.
 func (f *FleetIO) Decide(now sim.Time, snaps []vssd.WindowSnapshot) []vssd.Action {
@@ -254,7 +275,11 @@ func (f *FleetIO) Decide(now sim.Time, snaps []vssd.WindowSnapshot) []vssd.Actio
 			// few windows). The α-gated priority cap above bounds the
 			// damage of a bad sample to the latency tenants.
 			var lp, val float64
-			acts, lp, val = a.ppo.Act(state)
+			if f.cfg.GreedyCollect {
+				acts, lp, val = a.ppo.ActGreedyEval(state)
+			} else {
+				acts, lp, val = a.ppo.Act(state)
+			}
 			a.lastState = state
 			a.lastActions = acts
 			a.lastLogProb = lp

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/rl"
+	"repro/internal/sim"
+)
+
+// EpisodeSpec describes one self-contained pretraining episode: which mix
+// to collocate, under which reward variant, for how long, acting with
+// which policy flavor. Each episode owns a private sim.Engine + platform,
+// so any number of them can run concurrently (the trainer's worker pool
+// relies on this).
+type EpisodeSpec struct {
+	Mix      MixSpec
+	Mode     core.Mode
+	Seed     int64
+	Window   sim.Time
+	Duration sim.Time
+	// RL holds PPO hyperparameters for action sampling (zero value →
+	// rl.DefaultConfig); no learning happens inside the episode.
+	RL rl.Config
+	// Greedy selects argmax actions (held-out evaluation) instead of
+	// sampling the stochastic policy (collection).
+	Greedy bool
+}
+
+// pretrainSLOs calibrates quickly with a short hardware-isolated run.
+func pretrainSLOs(mix MixSpec, opt Options) []sim.Time {
+	o := opt
+	o.Warmup = sim.Second
+	o.Duration = 2 * sim.Second
+	return Calibrate(mix, o)
+}
+
+// RunEpisode is the episode factory behind both sequential calibration-era
+// pretraining and the parallel trainer: it builds a fresh platform for the
+// spec, drives a collection-only FleetIO sharing net (the network is read,
+// never trained — updates belong to the trainer's learner), and returns
+// one rollout buffer per agent with the final transition marked terminal.
+func RunEpisode(spec EpisodeSpec, net *nn.ActorCritic) []*rl.Buffer {
+	opt := DefaultOptions()
+	opt.Seed = spec.Seed
+	opt.Window = spec.Window
+	rcfg := spec.RL
+	if rcfg.Gamma == 0 {
+		rcfg = rl.DefaultConfig()
+	}
+	slos := pretrainSLOs(spec.Mix, opt)
+	r := buildPlatform(spec.Mix, PolFleetIO, slos, opt)
+	tm, alphas := TypeModel()
+	f := core.NewFleetIO(r.plat, core.FleetIOConfig{
+		Mode:  spec.Mode,
+		Train: true,
+		// Collection only: keep the in-episode PPO trigger out of reach
+		// so every transition survives for the external learner.
+		TrainEvery:     1 << 30,
+		Seed:           spec.Seed,
+		Pretrained:     net,
+		ShareModel:     true,
+		GreedyCollect:  spec.Greedy,
+		TypeModel:      tm,
+		AlphaByCluster: alphas,
+		RL:             rcfg,
+	})
+	for i, rec := range r.recs {
+		f.SetRecorder(i, rec)
+	}
+	for i, name := range spec.Mix.Workloads {
+		if c, ok := tm.WorkloadCluster[name]; ok {
+			if a, ok2 := alphas[c]; ok2 {
+				f.SetAlpha(i, a)
+			}
+		}
+	}
+	adm := admission.NewController(r.plat, nil)
+	r.runner = &core.Runner{Plat: r.plat, Adm: adm, Policy: f, Window: opt.Window}
+	for _, g := range r.gens {
+		g.Start()
+	}
+	r.runner.Start()
+	r.eng.RunUntil(spec.Duration)
+	for _, g := range r.gens {
+		g.Stop()
+	}
+	return f.DrainRollouts()
+}

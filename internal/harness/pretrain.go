@@ -3,11 +3,11 @@ package harness
 import (
 	"sync"
 
-	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/nn"
 	"repro/internal/rl"
 	"repro/internal/sim"
+	"repro/internal/trainer"
 	"repro/internal/vssd"
 	"repro/internal/workload"
 )
@@ -15,7 +15,8 @@ import (
 // PretrainConfig scales the offline pretraining loop (§3.8: the paper
 // pre-trains PPO on held-out workloads — LiveMaps, TPCE, SearchEngine,
 // Batch Analytics — using a simulator to parallelize collection; here the
-// same discrete-event simulator plays that role).
+// internal/trainer worker pool plays Ray's role over the same
+// discrete-event simulator).
 type PretrainConfig struct {
 	Seed int64
 	// Episodes is the number of simulated collocations to train over.
@@ -28,6 +29,22 @@ type PretrainConfig struct {
 	// LR is the pretraining learning rate (deployment fine-tuning uses the
 	// paper's 1e-4; pretraining converges faster at 1e-3).
 	LR float64
+	// Workers is the number of concurrent collection workers (0 → 1).
+	Workers int
+
+	// CheckpointDir enables atomic snapshot/resume when non-empty.
+	CheckpointDir string
+	// CheckpointEvery is the round period of snapshots (default 1).
+	CheckpointEvery int
+	// Resume restarts from the newest readable checkpoint.
+	Resume bool
+	// MetricsPath appends per-round JSONL training telemetry.
+	MetricsPath string
+	// EvalEvery gates a held-out greedy eval episode every EvalEvery
+	// rounds for best-model selection (0 disables).
+	EvalEvery int
+	// Logf receives per-round progress lines (nil = silent).
+	Logf func(format string, args ...any)
 }
 
 // DefaultPretrainConfig returns a budget that pretrains in tens of CPU
@@ -39,6 +56,7 @@ func DefaultPretrainConfig() PretrainConfig {
 		EpisodeDuration: 20 * sim.Second,
 		Window:          100 * sim.Millisecond,
 		LR:              1e-3,
+		Workers:         2,
 	}
 }
 
@@ -62,61 +80,63 @@ func Pretrain(pc PretrainConfig) *nn.ActorCritic {
 // ablation pretrains each mode separately, since the reward differences
 // shape behavior during training, not at deployment).
 func PretrainMode(pc PretrainConfig, mode core.Mode) *nn.ActorCritic {
+	res, err := PretrainRun(pc, mode)
+	if err != nil {
+		// Without checkpoint/metrics paths Run cannot fail at runtime;
+		// reaching here means a misconfigured call, which matches the
+		// seed's panic-on-bad-config convention elsewhere in the harness.
+		panic(err)
+	}
+	return res.Final
+}
+
+// PretrainRun is the full-fat pretraining entry point: it fans episode
+// collection out across pc.Workers goroutines (each owning its own
+// sim.Engine and platform), runs synchronous PPO updates on one shared
+// network between rounds, and exposes checkpointing, eval-gated best-model
+// selection, and JSONL telemetry to callers like cmd/fleettrain.
+func PretrainRun(pc PretrainConfig, mode core.Mode) (*trainer.Result, error) {
 	_ = workload.PretrainingSet() // the mixes below draw from this set
-	var net *nn.ActorCritic
 	mixes := pretrainMixes()
 	rcfg := rl.DefaultConfig()
 	rcfg.LR = pc.LR
-	for ep := 0; ep < pc.Episodes; ep++ {
-		mix := mixes[ep%len(mixes)]
-		opt := DefaultOptions()
-		opt.Seed = pc.Seed + int64(ep)
-		opt.Window = pc.Window
-		slos := pretrainSLOs(mix, opt)
-		r := buildPlatform(mix, PolFleetIO, slos, opt)
-		tm, alphas := TypeModel()
-		f := core.NewFleetIO(r.plat, core.FleetIOConfig{
-			Mode:           mode,
-			Train:          true,
-			TrainEvery:     5,
-			Seed:           opt.Seed,
-			Pretrained:     net,
-			ShareModel:     true,
-			TypeModel:      tm,
-			AlphaByCluster: alphas,
-			RL:             rcfg,
-		})
-		for i, rec := range r.recs {
-			f.SetRecorder(i, rec)
+	spec := func(mix MixSpec, seed int64, greedy bool) EpisodeSpec {
+		return EpisodeSpec{
+			Mix:      mix,
+			Mode:     mode,
+			Seed:     seed,
+			Window:   pc.Window,
+			Duration: pc.EpisodeDuration,
+			RL:       rcfg,
+			Greedy:   greedy,
 		}
-		for i, name := range mix.Workloads {
-			if c, ok := tm.WorkloadCluster[name]; ok {
-				if a, ok2 := alphas[c]; ok2 {
-					f.SetAlpha(i, a)
-				}
-			}
-		}
-		adm := admission.NewController(r.plat, nil)
-		r.runner = &core.Runner{Plat: r.plat, Adm: adm, Policy: f, Window: opt.Window}
-		for _, g := range r.gens {
-			g.Start()
-		}
-		r.runner.Start()
-		r.eng.RunUntil(pc.EpisodeDuration)
-		for _, g := range r.gens {
-			g.Stop()
-		}
-		net = f.Net(0)
 	}
-	return net
-}
-
-// pretrainSLOs calibrates quickly with a short hardware-isolated run.
-func pretrainSLOs(mix MixSpec, opt Options) []sim.Time {
-	o := opt
-	o.Warmup = sim.Second
-	o.Duration = 2 * sim.Second
-	return Calibrate(mix, o)
+	return trainer.Run(trainer.Config{
+		Seed:     pc.Seed,
+		Workers:  pc.Workers,
+		Episodes: pc.Episodes,
+		RL:       rcfg,
+		NewNet: func(rng *sim.RNG) *nn.ActorCritic {
+			dim := core.DefaultHistoryWindows * core.StatesPerWindow
+			heads := []int{len(core.HarvestLevels), len(core.HarvestLevels), len(core.PriorityLevels)}
+			return nn.NewActorCritic(dim, 50, heads, rng)
+		},
+		Collect: func(ep int, seed int64, net *nn.ActorCritic) *rl.Buffer {
+			mix := mixes[ep%len(mixes)]
+			return rl.Merge(RunEpisode(spec(mix, seed, false), net)...)
+		},
+		Eval: func(seed int64, net *nn.ActorCritic) float64 {
+			// Score on the first held-out mix with greedy actions; the
+			// fixed seed makes scores comparable across rounds.
+			return rl.Merge(RunEpisode(spec(mixes[0], seed, true), net)...).MeanReward()
+		},
+		EvalEvery:       pc.EvalEvery,
+		CheckpointDir:   pc.CheckpointDir,
+		CheckpointEvery: pc.CheckpointEvery,
+		Resume:          pc.Resume,
+		MetricsPath:     pc.MetricsPath,
+		Logf:            pc.Logf,
+	})
 }
 
 var (
@@ -124,9 +144,10 @@ var (
 	pretrainedNet *nn.ActorCritic
 	modeNetsMu    sync.Mutex
 	modeNets      = map[core.Mode]*nn.ActorCritic{}
-	// InjectedModel, when set before the first PretrainedModel call, is
+	// injectedModel, when set before the first PretrainedModel call, is
 	// used instead of running pretraining (cmd binaries load a model file).
-	InjectedModel *nn.ActorCritic
+	// Access only under injectMu, via SetInjectedModel.
+	injectedModel *nn.ActorCritic
 	injectMu      sync.Mutex
 )
 
@@ -135,7 +156,7 @@ var (
 func SetInjectedModel(net *nn.ActorCritic) {
 	injectMu.Lock()
 	defer injectMu.Unlock()
-	InjectedModel = net
+	injectedModel = net
 }
 
 // PretrainedModel returns the process-wide pretrained network, training it
@@ -143,7 +164,7 @@ func SetInjectedModel(net *nn.ActorCritic) {
 func PretrainedModel() *nn.ActorCritic {
 	pretrainOnce.Do(func() {
 		injectMu.Lock()
-		inj := InjectedModel
+		inj := injectedModel
 		injectMu.Unlock()
 		if inj != nil {
 			pretrainedNet = inj

@@ -320,6 +320,33 @@ func (ac *ActorCritic) Clone() *ActorCritic {
 	return out
 }
 
+// Params flattens every trainable parameter into one slice, in the stable
+// Layers() order (W then B per layer). The result is a copy; it is the
+// broadcast format the trainer uses to ship learner weights to collection
+// workers and to persist checkpoints.
+func (ac *ActorCritic) Params() []float64 {
+	out := make([]float64, 0, ac.NumParams())
+	for _, l := range ac.Layers() {
+		out = append(out, l.W...)
+		out = append(out, l.B...)
+	}
+	return out
+}
+
+// SetParams copies a Params()-shaped slice back into the network. Gradient
+// accumulators and Adam moments are left untouched.
+func (ac *ActorCritic) SetParams(p []float64) error {
+	if len(p) != ac.NumParams() {
+		return fmt.Errorf("nn: SetParams: got %d values, network has %d params", len(p), ac.NumParams())
+	}
+	i := 0
+	for _, l := range ac.Layers() {
+		i += copy(l.W, p[i:i+len(l.W)])
+		i += copy(l.B, p[i:i+len(l.B)])
+	}
+	return nil
+}
+
 // Encode serializes the network with gob.
 func (ac *ActorCritic) Encode() ([]byte, error) {
 	var buf bytes.Buffer

@@ -273,6 +273,41 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 }
 
+func TestParamsSetParamsRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(5)
+	src := NewActorCritic(6, 10, []int{4, 3}, rng)
+	dst := NewActorCritic(6, 10, []int{4, 3}, rng) // different init
+	p := src.Params()
+	if len(p) != src.NumParams() {
+		t.Fatalf("Params returned %d values for %d params", len(p), src.NumParams())
+	}
+	if err := dst.SetParams(p); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, -0.2, 0.3, 0.4, -0.5, 0.6}
+	l1, v1, _ := src.Forward(x)
+	l2, v2, _ := dst.Forward(x)
+	if v1 != v2 {
+		t.Fatal("value differs after params broadcast")
+	}
+	for k := range l1 {
+		for i := range l1[k] {
+			if l1[k][i] != l2[k][i] {
+				t.Fatal("logits differ after params broadcast")
+			}
+		}
+	}
+	// Params must be a copy: mutating it must not touch the network.
+	before := src.L1.W[0]
+	p[0] += 100
+	if src.L1.W[0] != before {
+		t.Fatal("Params aliases network weights")
+	}
+	if err := dst.SetParams(p[:len(p)-1]); err == nil {
+		t.Fatal("SetParams accepted a short slice")
+	}
+}
+
 func TestNumParamsPaperScale(t *testing.T) {
 	// The paper's model: 33 inputs (11 states × 3 windows), [50,50] hidden,
 	// three heads and a value head — parameter count should be O(9K).

@@ -64,6 +64,48 @@ func (b *Buffer) Len() int { return len(b.steps) }
 // Reset clears the buffer.
 func (b *Buffer) Reset() { b.steps = b.steps[:0] }
 
+// Steps exposes the buffered transitions (not a copy).
+func (b *Buffer) Steps() []Transition { return b.steps }
+
+// Append copies every transition of other into b, leaving other untouched.
+func (b *Buffer) Append(other *Buffer) {
+	b.steps = append(b.steps, other.steps...)
+}
+
+// MarkDone marks the final buffered transition as episode-terminal so GAE
+// does not bootstrap across the boundary when buffers are merged.
+func (b *Buffer) MarkDone() {
+	if n := len(b.steps); n > 0 {
+		b.steps[n-1].Done = true
+	}
+}
+
+// MeanReward returns the average per-transition reward (0 when empty) —
+// the episode score the trainer's eval gate compares.
+func (b *Buffer) MeanReward() float64 {
+	if len(b.steps) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range b.steps {
+		sum += b.steps[i].Reward
+	}
+	return sum / float64(len(b.steps))
+}
+
+// Merge concatenates rollout buffers (e.g. one per agent or per parallel
+// episode) into a fresh buffer, in argument order so merged training data
+// is deterministic regardless of collection scheduling.
+func Merge(bufs ...*Buffer) *Buffer {
+	out := &Buffer{}
+	for _, b := range bufs {
+		if b != nil {
+			out.Append(b)
+		}
+	}
+	return out
+}
+
 // TrainStats summarizes one Train call.
 type TrainStats struct {
 	Steps       int
@@ -73,6 +115,7 @@ type TrainStats struct {
 	MeanAdv     float64
 	MeanReturn  float64
 	ClipVisited float64 // fraction of samples with zeroed (clipped) gradient
+	ApproxKL    float64 // mean(old logπ − new logπ) over optimized samples
 }
 
 // PPO is the learner: a policy/value network plus its optimizer.
@@ -184,7 +227,7 @@ func (p *PPO) Train(buf *Buffer, lastValue float64) TrainStats {
 	if mb <= 0 || mb > n {
 		mb = n
 	}
-	var polLoss, valLoss, entSum float64
+	var polLoss, valLoss, entSum, klSum float64
 	var clipped, visited float64
 	for epoch := 0; epoch < p.cfg.Epochs; epoch++ {
 		order := p.rng.Perm(n)
@@ -207,6 +250,7 @@ func (p *PPO) Train(buf *Buffer, lastValue float64) TrainStats {
 					probs[k] = pr
 					newLP += math.Log(math.Max(pr[t.Actions[k]], 1e-12))
 				}
+				klSum += t.LogProb - newLP
 				ratio := math.Exp(newLP - t.LogProb)
 				a := adv[oi]
 				unclipped := ratio * a
@@ -254,6 +298,7 @@ func (p *PPO) Train(buf *Buffer, lastValue float64) TrainStats {
 	stats.PolicyLoss = polLoss / total
 	stats.ValueLoss = valLoss / total
 	stats.Entropy = entSum / (total * float64(len(p.Net.Heads)))
+	stats.ApproxKL = klSum / total
 	if visited > 0 {
 		stats.ClipVisited = clipped / visited
 	}

@@ -199,6 +199,58 @@ func TestValueLearnsReturns(t *testing.T) {
 	}
 }
 
+func TestBufferMergeAndMarkDone(t *testing.T) {
+	mk := func(rewards ...float64) *Buffer {
+		b := &Buffer{}
+		for _, r := range rewards {
+			b.Add(Transition{Reward: r})
+		}
+		return b
+	}
+	a := mk(1, 2)
+	a.MarkDone()
+	b := mk(3)
+	b.MarkDone()
+	m := Merge(a, nil, b, mk())
+	if m.Len() != 3 {
+		t.Fatalf("merged %d transitions, want 3", m.Len())
+	}
+	steps := m.Steps()
+	if !steps[1].Done || !steps[2].Done || steps[0].Done {
+		t.Fatalf("episode boundaries wrong after merge: %+v", steps)
+	}
+	if got := m.MeanReward(); got != 2 {
+		t.Fatalf("mean reward %v, want 2", got)
+	}
+	if got := (&Buffer{}).MeanReward(); got != 0 {
+		t.Fatalf("empty mean reward %v", got)
+	}
+	// Merge copies: training (which resets the merged buffer) must not
+	// clear the sources.
+	m.Reset()
+	if a.Len() != 2 || b.Len() != 1 {
+		t.Fatal("Merge aliased its sources")
+	}
+	(&Buffer{}).MarkDone() // must not panic on empty
+}
+
+func TestTrainReportsApproxKL(t *testing.T) {
+	p := newPPO([]int{3}, 2, 6)
+	var buf Buffer
+	state := []float64{0.5, -0.5}
+	for i := 0; i < 48; i++ {
+		a, lp, v := p.Act(state)
+		buf.Add(Transition{State: state, Actions: a, LogProb: lp, Value: v, Reward: float64(i % 2)})
+	}
+	st := p.Train(&buf, 0)
+	if math.IsNaN(st.ApproxKL) || math.IsInf(st.ApproxKL, 0) {
+		t.Fatalf("ApproxKL = %v", st.ApproxKL)
+	}
+	if st.ApproxKL == 0 {
+		t.Fatal("ApproxKL stayed exactly zero across 4 epochs of updates")
+	}
+}
+
 func TestMeanStd(t *testing.T) {
 	m, s := meanStd([]float64{1, 2, 3, 4})
 	if m != 2.5 {

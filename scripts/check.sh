@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# check.sh — the repo's `make check` equivalent: vet, build, full test
+# suite, then the race detector on the concurrency-heavy packages (the
+# trainer's worker pool, the lock-free gSB pool, and admission batching).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (concurrency-heavy packages)"
+go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/...
+
+echo "check.sh: all green"
