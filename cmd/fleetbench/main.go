@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -28,6 +29,7 @@ func main() {
 	windowMs := flag.Int("window", 250, "decision window in milliseconds")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	model := flag.String("model", "", "pretrained model file (from fleettrain); pretrains in-process when empty")
+	httpAddr := flag.String("http", "", "serve live run telemetry on /metrics and pprof on /debug/pprof/")
 	flag.Parse()
 
 	if *model != "" {
@@ -45,6 +47,18 @@ func main() {
 	opt.Warmup = sim.Time(*warmup * 1e9)
 	opt.Window = sim.Time(*windowMs) * sim.Millisecond
 	opt = harness.WithPretrained(opt)
+
+	if *httpAddr != "" {
+		// Figure runs execute sequentially, so one observer serves them
+		// all; /metrics always shows the run in flight.
+		opt.Obs = obs.NewObserver()
+		srv, err := obs.Serve(*httpAddr, opt.Obs.Registry())
+		if err != nil {
+			log.Fatalf("serving -http: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("observability on http://%s (/metrics, /debug/pprof/)", srv.Addr())
+	}
 
 	w := os.Stdout
 	needGrid := func() map[string][]harness.Result {

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -25,7 +26,17 @@ func main() {
 	windows := flag.Int("windows", 8, "trace windows per workload")
 	perWindow := flag.Int("per-window", 2000, "requests per window (paper: 10000)")
 	verbose := flag.Bool("v", false, "print every window's PCA point")
+	httpAddr := flag.String("http", "", "serve /debug/pprof/ (and an empty /metrics) while clustering")
 	flag.Parse()
+
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, nil)
+		if err != nil {
+			log.Fatalf("serving -http: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("observability on http://%s (/debug/pprof/)", srv.Addr())
+	}
 
 	harness.Figure6(os.Stdout)
 

@@ -4,15 +4,24 @@
 // Usage:
 //
 //	fleetsim -mix YCSB,TeraSort -policy fleetio -seconds 10
+//	fleetsim -http :8080 -trace decisions.jsonl
+//
+// With -http the run exports live telemetry on /metrics (Prometheus text
+// format) and the pprof handlers on /debug/pprof/, and keeps serving after
+// the results print until interrupted. -trace writes every recorded
+// decision event as JSONL (see docs/OBSERVABILITY.md for both schemas).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -23,6 +32,8 @@ func main() {
 	policy := flag.String("policy", "fleetio", "hardware | software | adaptive | ssdkeeper | fleetio")
 	seconds := flag.Float64("seconds", 8, "measured virtual seconds")
 	seed := flag.Int64("seed", 1, "seed")
+	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof/ on this address (e.g. :8080)")
+	tracePath := flag.String("trace", "", "write decision events to this JSONL file")
 	flag.Parse()
 
 	kinds := map[string]harness.PolicyKind{
@@ -45,6 +56,19 @@ func main() {
 	if kind == harness.PolFleetIO {
 		opt = harness.WithPretrained(opt)
 	}
+
+	var srv *obs.Server
+	if *httpAddr != "" || *tracePath != "" {
+		opt.Obs = obs.NewObserver()
+	}
+	if *httpAddr != "" {
+		var err error
+		if srv, err = obs.Serve(*httpAddr, opt.Obs.Registry()); err != nil {
+			log.Fatalf("serving -http: %v", err)
+		}
+		log.Printf("observability on http://%s (/metrics, /debug/pprof/)", srv.Addr())
+	}
+
 	log.Printf("calibrating SLOs (hardware-isolated run)...")
 	slos := harness.Calibrate(mix, opt)
 	log.Printf("running %s on %s...", kind, *mixFlag)
@@ -56,5 +80,29 @@ func main() {
 	for _, t := range res.Tenants {
 		fmt.Printf("%-16s %-22s %12.1f %10.2f %10.2f %10.2f %9.2f%%\n",
 			t.Workload, t.Class.String(), t.BandwidthMBps, t.MeanMs, t.P95Ms, t.P99Ms, t.VioRate*100)
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("creating -trace file: %v", err)
+		}
+		rec := opt.Obs.Recorder()
+		if err := rec.WriteJSONL(f); err != nil {
+			log.Fatalf("writing -trace file: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("closing -trace file: %v", err)
+		}
+		log.Printf("wrote %d decision events to %s", rec.Len(), *tracePath)
+	}
+	if srv != nil {
+		// Keep the endpoint alive so the final metric values stay
+		// scrapeable; interrupt to exit.
+		log.Printf("run finished; serving on http://%s until interrupted", srv.Addr())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		_ = srv.Close()
 	}
 }

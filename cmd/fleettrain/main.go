@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -35,7 +36,19 @@ func main() {
 	metrics := flag.String("metrics", "", "append per-round training telemetry to this JSONL file")
 	evalEvery := flag.Int("eval-every", 1, "rounds between held-out eval episodes (0 disables best-model gating)")
 	out := flag.String("out", "fleetio_model.gob", "output model file")
+	httpAddr := flag.String("http", "", "serve live training gauges on /metrics and pprof on /debug/pprof/")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *httpAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*httpAddr, reg)
+		if err != nil {
+			log.Fatalf("serving -http: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("observability on http://%s (/metrics, /debug/pprof/)", srv.Addr())
+	}
 
 	pc := harness.PretrainConfig{
 		Seed:            *seed,
@@ -50,6 +63,7 @@ func main() {
 		MetricsPath:     *metrics,
 		EvalEvery:       *evalEvery,
 		Logf:            log.Printf,
+		Obs:             reg,
 	}
 	log.Printf("pretraining %d episodes x %.0fs virtual on held-out workloads (%d workers)...",
 		pc.Episodes, *epSeconds, *workers)

@@ -17,7 +17,11 @@
 //     Table 2 actions, the Eq. 1/Eq. 2 rewards, and §3.4 workload-type
 //     reward fine-tuning via k-means clustering;
 //   - synthetic generators for the paper's nine cloud workloads and an
-//     experiment harness that regenerates every measured figure.
+//     experiment harness that regenerates every measured figure;
+//   - an observability layer (internal/obs): per-vSSD decision tracing
+//     with JSONL export, virtual-time telemetry sampling, and live
+//     Prometheus-format /metrics plus pprof endpoints on every binary
+//     (docs/OBSERVABILITY.md is the reference).
 //
 // # Quick start
 //
@@ -38,6 +42,9 @@
 // PPO model; cmd/fleetcluster reproduces the workload clustering; and
 // cmd/fleetsim runs one collocation interactively. bench_test.go holds a
 // testing.B benchmark per figure plus the §4.7 overhead microbenchmarks.
+// All four binaries accept -http to serve live /metrics and pprof while
+// they run; fleetsim additionally accepts -trace to dump the decision
+// log as JSONL.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // paper-vs-reproduction numbers.

@@ -10,6 +10,7 @@ package admission
 import (
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vssd"
 )
@@ -69,6 +70,11 @@ type Controller struct {
 	// Reorder enables the Make_Harvestable-first ordering; disabling it is
 	// the §3.5 ablation.
 	Reorder bool
+
+	// Obs traces admission verdicts (filtered and admitted harvest-related
+	// actions); nil disables. Immediate pass-through actions are not traced
+	// here — the policy layer already records the decision that issued them.
+	Obs *obs.Recorder
 }
 
 type entry struct {
@@ -115,11 +121,13 @@ func (c *Controller) Submit(a vssd.Action) {
 	case vssd.ActHarvest:
 		if !c.policy.AllowHarvest(a.VSSD) {
 			c.stats.Filtered++
+			c.Obs.Verdict(obs.KindAdmissionFilter, a.VSSD, a.Kind.String(), a.BW)
 			return
 		}
 	case vssd.ActMakeHarvestable:
 		if !c.policy.AllowMakeHarvestable(a.VSSD) {
 			c.stats.Filtered++
+			c.Obs.Verdict(obs.KindAdmissionFilter, a.VSSD, a.Kind.String(), a.BW)
 			return
 		}
 	default:
@@ -163,6 +171,7 @@ func (c *Controller) Flush() {
 	}
 	for _, e := range batch {
 		c.stats.Admitted++
+		c.Obs.Verdict(obs.KindAdmissionAdmit, e.action.VSSD, e.action.Kind.String(), e.action.BW)
 		c.plat.Apply(e.action)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rl"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -71,6 +72,10 @@ type FleetIOConfig struct {
 	AlphaByCluster map[int]float64
 	// RL overrides PPO hyperparameters (zero value → DefaultConfig).
 	RL rl.Config
+
+	// Obs traces per-window decisions (the three issued actions plus the
+	// single/mixed rewards of the closing window); nil disables.
+	Obs *obs.Recorder
 }
 
 // agent is the per-vSSD RL state.
@@ -310,13 +315,19 @@ func (f *FleetIO) Decide(now sim.Time, snaps []vssd.WindowSnapshot) []vssd.Actio
 		} else if vio[i] > f.cfg.SLOVioGuar && level < 3 {
 			level = 3
 		}
+		makeBW := float64(HarvestLevels[acts[1]]) * chanBW
+		harvestBW := float64(HarvestLevels[acts[0]]) * chanBW
 		actions = append(actions,
-			vssd.Action{VSSD: i, Kind: vssd.ActMakeHarvestable,
-				BW: float64(HarvestLevels[acts[1]]) * chanBW},
-			vssd.Action{VSSD: i, Kind: vssd.ActHarvest,
-				BW: float64(HarvestLevels[acts[0]]) * chanBW},
+			vssd.Action{VSSD: i, Kind: vssd.ActMakeHarvestable, BW: makeBW},
+			vssd.Action{VSSD: i, Kind: vssd.ActHarvest, BW: harvestBW},
 			vssd.Action{VSSD: i, Kind: vssd.ActSetPriority, Level: level},
 		)
+		if f.cfg.Obs.Enabled() {
+			f.cfg.Obs.Reward(i, single[i], mixed[i])
+			f.cfg.Obs.Decision(obs.KindMakeHarvestable, i, makeBW, 0)
+			f.cfg.Obs.Decision(obs.KindHarvest, i, harvestBW, 0)
+			f.cfg.Obs.Decision(obs.KindSetPriority, i, 0, level)
+		}
 	}
 	return actions
 }

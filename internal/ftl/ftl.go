@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/flash"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -124,8 +125,15 @@ type Manager struct {
 	// the free pool so it can finish lazy gSB reclamation.
 	onBlockErased func(blockIdx, gsbID int)
 
+	// rec traces GC victim selection; nil disables.
+	rec *obs.Recorder
+
 	stats Stats
 }
+
+// SetObserver attaches a decision-event recorder for GC tracing (nil
+// detaches it).
+func (m *Manager) SetObserver(rec *obs.Recorder) { m.rec = rec }
 
 // OnBlockErased installs the post-erase hook (one consumer: gsb.Manager).
 func (m *Manager) OnBlockErased(fn func(blockIdx, gsbID int)) { m.onBlockErased = fn }

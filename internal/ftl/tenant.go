@@ -443,6 +443,7 @@ func (t *Tenant) maybeGC() {
 		if victim < 0 {
 			return
 		}
+		t.mgr.rec.GCRun(t.id, victim, t.mgr.blocks[victim].valid, t.mgr.blocks[victim].harvested)
 		t.mgr.blocks[victim].state = BlockGC
 		t.gcJobs++
 		t.mgr.stats.GCRuns++

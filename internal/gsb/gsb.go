@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/ftl"
 	"repro/internal/lockfree"
+	"repro/internal/obs"
 )
 
 // GSB mirrors the paper's Figure 7 metadata: the channel footprint,
@@ -63,8 +64,15 @@ type Manager struct {
 	// requested gsb_bw into a channel count, rounding down (§3.6).
 	ChannelBW float64
 
+	// rec traces gSB lifecycle events; nil disables.
+	rec *obs.Recorder
+
 	stats Stats
 }
+
+// SetObserver attaches a decision-event recorder for gSB lifecycle
+// tracing (nil detaches it).
+func (m *Manager) SetObserver(rec *obs.Recorder) { m.rec = rec }
 
 // NewManager wires a gSB manager to the FTL manager and installs the GC
 // erase hook that completes lazy reclamation.
@@ -177,6 +185,7 @@ func (m *Manager) create(home *ftl.Tenant, nchls int) *GSB {
 	m.byHome[home.ID()] = append(m.byHome[home.ID()], g)
 	m.pool[g.NChls].PushFront(g)
 	m.stats.Created++
+	m.rec.GSB(obs.KindGSBCreate, g.ID, g.Home, -1, g.NChls)
 	// While lending, keep the home tenant's GC aiming above the §3.6 free
 	// floor so future gSB creation stays possible (supply would otherwise
 	// starve once harvested data accumulates on the home channels).
@@ -222,6 +231,7 @@ func (m *Manager) HarvestFor(harvester *ftl.Tenant, nchls int) *GSB {
 	harvester.AddHarvestLanes(g.ID, g.Blocks)
 	m.byHarvester[harvester.ID()] = append(m.byHarvester[harvester.ID()], g)
 	m.stats.Harvested++
+	m.rec.GSB(obs.KindGSBHarvest, g.ID, g.Harvest, g.Home, g.NChls)
 	return g
 }
 
@@ -268,6 +278,7 @@ func (m *Manager) ReclaimAllFrom(home int) {
 // GC erases their dirty blocks (§3.6, §3.7).
 func (m *Manager) reclaim(g *GSB) {
 	g.Reclaiming = true
+	m.rec.GSB(obs.KindGSBReclaim, g.ID, g.Home, g.Harvest, g.NChls)
 	if !g.InUse {
 		// Remove from the pool so nobody harvests it mid-reclaim.
 		m.pool[g.NChls].RemoveFirst(func(x *GSB) bool { return x == g })
@@ -334,6 +345,7 @@ func (m *Manager) finalize(g *GSB) {
 		m.ftlm.Tenants()[g.Home].SetGCTarget(0)
 	}
 	m.stats.Reclaimed++
+	m.rec.GSB(obs.KindGSBFinalize, g.ID, g.Home, g.Harvest, g.NChls)
 }
 
 // String renders the gSB for diagnostics.

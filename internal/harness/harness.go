@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/flash"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vssd"
@@ -85,6 +86,9 @@ type Options struct {
 	TrainDuringRun bool
 	// SoftwareShareFactor is the token-bucket slack for Software Isolation.
 	SoftwareShareFactor float64
+	// Obs, when non-nil, attaches decision tracing and time-series
+	// telemetry to the measured run (calibration runs stay unobserved).
+	Obs *obs.Observer
 }
 
 // DefaultOptions returns fast, deterministic settings for tests/benches.
@@ -261,6 +265,9 @@ func buildPlatform(mix MixSpec, kind PolicyKind, slos []sim.Time, opt Options) *
 	pc := vssd.DefaultPlatformConfig()
 	pc.Flash = opt.flashConfig()
 	plat := vssd.NewPlatform(eng, pc)
+	if opt.Obs != nil {
+		plat.SetObserver(opt.Obs.Recorder())
+	}
 	nT := len(mix.Workloads)
 	nCh := pc.Flash.Channels
 	if nCh%nT != 0 {
@@ -348,6 +355,7 @@ func (r *run) attachPolicy(kind PolicyKind, mix MixSpec) {
 			Pretrained:     pretrained,
 			TypeModel:      tm,
 			AlphaByCluster: alphas,
+			Obs:            r.plat.Observer(),
 		})
 		for i, rec := range r.recs {
 			f.SetRecorder(i, rec)
@@ -364,6 +372,7 @@ func (r *run) attachPolicy(kind PolicyKind, mix MixSpec) {
 		}
 		pol = f
 		adm = admission.NewController(r.plat, nil)
+		adm.Obs = r.plat.Observer()
 	default:
 		panic("harness: unknown policy kind")
 	}
@@ -390,6 +399,7 @@ func (r *run) execute() {
 			r.utils = append(r.utils, float64(bytes)/(peak*float64(dur)/1e9))
 		}
 	}
+	smp := r.startObserving()
 	for _, g := range r.gens {
 		g.Start()
 	}
@@ -405,6 +415,7 @@ func (r *run) execute() {
 	for _, g := range r.gens {
 		g.Stop()
 	}
+	smp.Stop()
 }
 
 // collect assembles the Result.
@@ -456,6 +467,9 @@ func insertionSort(xs []float64) {
 // Calibrate runs the mix hardware-isolated without SLOs and returns each
 // tenant's measured P99 — the SLO definition of §3.3.1.
 func Calibrate(mix MixSpec, opt Options) []sim.Time {
+	// Calibration defines the SLOs; observing it would pollute the trace
+	// and telemetry of the measured run that follows.
+	opt.Obs = nil
 	r := buildPlatform(mix, PolHardware, nil, opt)
 	r.attachPolicy(PolHardware, mix)
 	r.execute()

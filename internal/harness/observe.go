@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// startObserving registers the run's telemetry probes on the observer's
+// registry and starts the virtual-time sampler. It returns the started
+// sampler (nil when telemetry is off); execute stops it so the engine's
+// event queue can drain after measurement.
+//
+// The probes are the metric catalogue documented in docs/OBSERVABILITY.md:
+// per-vSSD bandwidth/IOPS/P99/queue depth, device GC and write-amp
+// activity, gSB lifecycle counts, and admission verdicts.
+func (r *run) startObserving() *obs.Sampler {
+	o := r.opt.Obs
+	if o == nil || o.Reg == nil {
+		return nil
+	}
+	reg := o.Reg
+	s := obs.NewSampler()
+
+	simTime := reg.Gauge("fleetio_sim_time_seconds", "Virtual time of the current run.")
+	samples := reg.Counter("fleetio_obs_samples_total", "Telemetry sample rounds taken.")
+
+	// Device-wide FTL and gSB series (cumulative model stats exported as
+	// counters by setting the running totals).
+	ftlm := r.plat.FTL()
+	gsbm := r.plat.GSB()
+	hostProg := reg.Counter("fleetio_ftl_host_programs_total", "Host page programs.")
+	gcProg := reg.Counter("fleetio_ftl_gc_programs_total", "GC page-migration programs.")
+	erases := reg.Counter("fleetio_ftl_erases_total", "Block erases.")
+	gcRuns := reg.Counter("fleetio_ftl_gc_runs_total", "GC victim collections started.")
+	writeAmp := reg.Gauge("fleetio_ftl_write_amplification", "(host+GC programs)/host programs.")
+	gsbCreated := reg.Counter("fleetio_gsb_created_total", "Ghost superblocks created.")
+	gsbHarvests := reg.Counter("fleetio_gsb_harvested_total", "Ghost superblock harvests.")
+	gsbReclaimed := reg.Counter("fleetio_gsb_reclaimed_total", "Ghost superblocks fully reclaimed.")
+	gsbCreateFail := reg.Counter("fleetio_gsb_create_failures_total", "Make_Harvestable calls that found no lendable channel.")
+	gsbMisses := reg.Counter("fleetio_gsb_harvest_misses_total", "Harvest calls that found no compatible gSB.")
+
+	var admAdmitted, admFiltered, admBatches *obs.Metric
+	if r.runner != nil && r.runner.Adm != nil {
+		admAdmitted = reg.Counter("fleetio_admission_admitted_total", "Harvest-related actions admitted.")
+		admFiltered = reg.Counter("fleetio_admission_filtered_total", "Harvest-related actions rejected by provider policy.")
+		admBatches = reg.Counter("fleetio_admission_batches_total", "Admission batches flushed.")
+	}
+
+	// Per-vSSD series, labelled by id and configured name.
+	type vssdGauges struct {
+		bw, iops, p99, queue, inflight, prio, harvested, free, inGC *obs.Metric
+		requests, bytes                                             *obs.Metric
+		prevBytes, prevCompleted                                    int64
+	}
+	vgs := make([]*vssdGauges, len(r.plat.VSSDs()))
+	for i, v := range r.plat.VSSDs() {
+		l := []string{"vssd", strconv.Itoa(i), "name", v.Name()}
+		vgs[i] = &vssdGauges{
+			bw:        reg.Gauge("fleetio_vssd_bandwidth_bytes_per_second", "Host payload bandwidth over the last sample period.", l...),
+			iops:      reg.Gauge("fleetio_vssd_iops", "Completed host requests per second over the last sample period.", l...),
+			p99:       reg.Gauge("fleetio_vssd_p99_seconds", "Run-level P99 request latency.", l...),
+			queue:     reg.Gauge("fleetio_vssd_queue_depth", "Requests waiting for dispatch.", l...),
+			inflight:  reg.Gauge("fleetio_vssd_inflight_pages", "Dispatched-but-incomplete page ops.", l...),
+			prio:      reg.Gauge("fleetio_vssd_priority", "Current I/O priority level (1=low..3=high).", l...),
+			harvested: reg.Gauge("fleetio_vssd_harvested_channels", "Channels currently harvested via gSBs.", l...),
+			free:      reg.Gauge("fleetio_vssd_free_block_fraction", "Free-block fraction across the vSSD's channels.", l...),
+			inGC:      reg.Gauge("fleetio_vssd_in_gc", "1 while the vSSD's tenant is collecting.", l...),
+			requests:  reg.Counter("fleetio_vssd_requests_total", "Completed host requests.", l...),
+			bytes:     reg.Counter("fleetio_vssd_bytes_total", "Host payload bytes completed.", l...),
+		}
+	}
+
+	var lastAt sim.Time
+	s.AddProbe(func(now sim.Time) {
+		dt := float64(now-lastAt) / 1e9
+		lastAt = now
+		simTime.Set(float64(now) / 1e9)
+		samples.Add(1)
+
+		fst := ftlm.Stats()
+		hostProg.Set(float64(fst.HostPrograms))
+		gcProg.Set(float64(fst.GCPrograms))
+		erases.Set(float64(fst.Erases))
+		gcRuns.Set(float64(fst.GCRuns))
+		writeAmp.Set(fst.WriteAmplification())
+
+		gst := gsbm.Stats()
+		gsbCreated.Set(float64(gst.Created))
+		gsbHarvests.Set(float64(gst.Harvested))
+		gsbReclaimed.Set(float64(gst.Reclaimed))
+		gsbCreateFail.Set(float64(gst.CreateFailures))
+		gsbMisses.Set(float64(gst.HarvestMisses))
+
+		if admAdmitted != nil {
+			ast := r.runner.Adm.Stats()
+			admAdmitted.Set(float64(ast.Admitted))
+			admFiltered.Set(float64(ast.Filtered))
+			admBatches.Set(float64(ast.Batches))
+		}
+
+		for i, v := range r.plat.VSSDs() {
+			g := vgs[i]
+			curBytes := v.TotalBytesMoved()
+			curCompleted := v.Completed()
+			db := curBytes - g.prevBytes
+			dc := curCompleted - g.prevCompleted
+			// ResetTotals at the measurement boundary rewinds the
+			// cumulative counters; restart the deltas from zero.
+			if db < 0 {
+				db = curBytes
+			}
+			if dc < 0 {
+				dc = curCompleted
+			}
+			g.prevBytes = curBytes
+			g.prevCompleted = curCompleted
+			if dt > 0 {
+				g.bw.Set(float64(db) / dt)
+				g.iops.Set(float64(dc) / dt)
+			}
+			g.requests.Add(float64(dc))
+			g.bytes.Add(float64(db))
+			g.p99.Set(float64(v.TotalHist().P99()) / 1e9)
+			g.queue.Set(float64(v.QueueLen()))
+			g.inflight.Set(float64(v.Inflight()))
+			g.prio.Set(float64(v.Priority()))
+			g.harvested.Set(float64(gsbm.HarvestedChannels(i)))
+			g.free.Set(ftlm.FreeFraction(v.Tenant().Channels()))
+			if v.Tenant().InGC() {
+				g.inGC.Set(1)
+			} else {
+				g.inGC.Set(0)
+			}
+		}
+	})
+
+	s.Start(r.eng, o.SamplePeriod)
+	return s
+}

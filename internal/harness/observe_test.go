@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRunOneObserved drives a full FleetIO run with an attached Observer
+// and checks that the whole pipeline lights up: decision events from the
+// policy, gSB and GC events from the device stack, and populated
+// time-series gauges from the sampler.
+func TestRunOneObserved(t *testing.T) {
+	opt := fastOptions()
+	opt.TrainDuringRun = false // deterministic greedy actions are enough
+	opt.Obs = obs.NewObserver()
+	mix := Pair("YCSB", "TeraSort")
+	slos := Calibrate(mix, opt)
+	res := RunOne(mix, PolFleetIO, slos, opt)
+	if len(res.Tenants) != 2 {
+		t.Fatalf("got %d tenants", len(res.Tenants))
+	}
+
+	rec := opt.Obs.Recorder()
+	if rec.Len() == 0 {
+		t.Fatal("observed run recorded no events")
+	}
+	kinds := map[obs.EventKind]int{}
+	for _, e := range rec.Events() {
+		kinds[e.Kind]++
+	}
+	// Every window must produce the three decision kinds plus a reward
+	// per agent; the admission controller admits the harvest actions.
+	for _, k := range []obs.EventKind{
+		obs.KindHarvest, obs.KindMakeHarvestable, obs.KindSetPriority,
+		obs.KindReward, obs.KindAdmissionAdmit,
+	} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events recorded (histogram: %v)", k, kinds)
+		}
+	}
+	// The prefilled device under sustained writes must collect garbage.
+	if kinds[obs.KindGCRun] == 0 {
+		t.Errorf("no gc_run events recorded")
+	}
+	for _, e := range rec.Events() {
+		if e.At < 0 || e.Seq == 0 {
+			t.Fatalf("unstamped event %+v", e)
+		}
+	}
+
+	reg := opt.Obs.Registry()
+	names := strings.Join(reg.Names(), "\n")
+	for _, want := range []string{
+		"fleetio_vssd_bandwidth_bytes_per_second",
+		"fleetio_vssd_iops",
+		"fleetio_vssd_p99_seconds",
+		"fleetio_vssd_queue_depth",
+		"fleetio_ftl_gc_runs_total",
+		"fleetio_gsb_created_total",
+		"fleetio_admission_admitted_total",
+		"fleetio_obs_samples_total",
+		"fleetio_sim_time_seconds",
+	} {
+		if !strings.Contains(names, want) {
+			t.Errorf("registry missing %s", want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `fleetio_vssd_iops{vssd="0",name="YCSB-0"}`) {
+		t.Errorf("per-vSSD labelled series missing:\n%s", out[:min(len(out), 600)])
+	}
+	if reg.Gauge("fleetio_obs_samples_total", "").Value() == 0 {
+		t.Error("sampler never ticked")
+	}
+	if reg.Gauge("fleetio_sim_time_seconds", "").Value() == 0 {
+		t.Error("virtual clock gauge never set")
+	}
+}
+
+// TestCalibrateUnobserved pins the contract that calibration runs leave
+// no residue in the caller's observer.
+func TestCalibrateUnobserved(t *testing.T) {
+	opt := fastOptions()
+	opt.Duration = 2 * opt.Window
+	opt.Warmup = 2 * opt.Window
+	opt.Obs = obs.NewObserver()
+	Calibrate(Pair("YCSB", "TeraSort"), opt)
+	if n := opt.Obs.Recorder().Len(); n != 0 {
+		t.Fatalf("calibration leaked %d events into the observer", n)
+	}
+	if n := len(opt.Obs.Registry().Names()); n != 0 {
+		t.Fatalf("calibration registered %d metric families", n)
+	}
+}

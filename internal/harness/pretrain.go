@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rl"
 	"repro/internal/sim"
 	"repro/internal/trainer"
@@ -45,6 +46,9 @@ type PretrainConfig struct {
 	EvalEvery int
 	// Logf receives per-round progress lines (nil = silent).
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, exports the trainer's per-round gauges for a
+	// live /metrics endpoint (cmd/fleettrain -http).
+	Obs *obs.Registry
 }
 
 // DefaultPretrainConfig returns a budget that pretrains in tens of CPU
@@ -136,6 +140,7 @@ func PretrainRun(pc PretrainConfig, mode core.Mode) (*trainer.Result, error) {
 		Resume:          pc.Resume,
 		MetricsPath:     pc.MetricsPath,
 		Logf:            pc.Logf,
+		Obs:             pc.Obs,
 	})
 }
 

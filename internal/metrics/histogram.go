@@ -2,6 +2,12 @@
 // FleetIO reproduction: log-bucketed latency histograms with accurate tail
 // quantiles, per-window bandwidth/IOPS/SLO counters, and device utilization
 // accounting. All values are in virtual-time nanoseconds and bytes.
+//
+// Everything here reports 0 — never an error or NaN — when no data has
+// been recorded (see Histogram.Quantile for the rationale), which is what
+// lets downstream consumers (SLO calibration, the RL state vector, the
+// internal/obs telemetry probes) read mid-run without guarding for
+// emptiness.
 package metrics
 
 import (
@@ -95,6 +101,12 @@ func (h *Histogram) Max() int64 { return h.max }
 // Quantile returns an estimate of the q-quantile (q in [0,1]). The estimate
 // is the lower bound of the bucket holding the q-th sample, so it is within
 // one bucket width (≈3% relative) of the true order statistic.
+//
+// An empty histogram returns 0 for every q, including q outside [0,1].
+// Zero is a deliberate sentinel, not a measurement: no real completion has
+// a zero-nanosecond latency, so downstream consumers (SLO calibration,
+// telemetry gauges, figure tables) can — and do — treat a zero quantile as
+// "no data" rather than an exceptionally fast tail.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h.total == 0 {
 		return 0

@@ -14,6 +14,28 @@ func TestHistogramEmpty(t *testing.T) {
 	}
 }
 
+// TestHistogramEmptyQuantile pins the documented contract: an empty
+// histogram returns the 0 "no data" sentinel for every q, including
+// out-of-range ones, and keeps doing so after Add+Reset.
+func TestHistogramEmptyQuantile(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	h.Add(500)
+	if h.Quantile(0.5) == 0 {
+		t.Fatal("non-empty histogram returned the empty sentinel")
+	}
+	h.Reset()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("post-Reset Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+}
+
 func TestHistogramSingle(t *testing.T) {
 	var h Histogram
 	h.Add(12345)

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// DefaultRingSize is the per-vSSD event capacity used when NewRecorder is
+// given a non-positive limit. At the paper's decision cadence (a handful
+// of events per vSSD per window) this holds minutes of history.
+const DefaultRingSize = 4096
+
+// Recorder captures decision events into per-vSSD ring buffers. It is
+// safe for concurrent use: rings are created lazily under a read-write
+// lock and each ring appends under its own mutex, so emitters for
+// different vSSDs do not contend. A nil *Recorder is the disabled
+// recorder — every method returns immediately after one nil check, which
+// is the entire overhead instrumented code pays when tracing is off.
+type Recorder struct {
+	limit int
+	seq   atomic.Uint64
+	clock atomic.Value // func() sim.Time
+
+	mu    sync.RWMutex
+	rings []*ring
+}
+
+// ring is one vSSD's bounded event history (newest limit events).
+type ring struct {
+	mu   sync.Mutex
+	evs  []Event
+	next int
+	full bool
+}
+
+// NewRecorder returns a recorder keeping the newest perVSSD events per
+// vSSD ring (DefaultRingSize when perVSSD <= 0). The clock stamping
+// virtual timestamps starts unset; events emitted before SetClock carry
+// At == 0.
+func NewRecorder(perVSSD int) *Recorder {
+	if perVSSD <= 0 {
+		perVSSD = DefaultRingSize
+	}
+	return &Recorder{limit: perVSSD}
+}
+
+// SetClock installs the virtual-time source (typically eng.Now of the
+// engine driving the current run). Safe to call between runs while HTTP
+// goroutines are live; emitters see either the old or the new clock.
+func (r *Recorder) SetClock(now func() sim.Time) {
+	if r == nil {
+		return
+	}
+	r.clock.Store(now)
+}
+
+// Enabled reports whether the recorder is live (non-nil); call sites that
+// must do extra work to build an event can skip it when disabled.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+func (r *Recorder) now() sim.Time {
+	if fn, ok := r.clock.Load().(func() sim.Time); ok && fn != nil {
+		return fn()
+	}
+	return 0
+}
+
+// ringFor returns the ring for a vSSD id, growing the table as needed.
+// Negative ids (events not tied to a vSSD) share ring 0's table slot via
+// index clamping at emit time.
+func (r *Recorder) ringFor(id int) *ring {
+	r.mu.RLock()
+	if id < len(r.rings) {
+		rg := r.rings[id]
+		r.mu.RUnlock()
+		return rg
+	}
+	r.mu.RUnlock()
+	r.mu.Lock()
+	for len(r.rings) <= id {
+		r.rings = append(r.rings, &ring{})
+	}
+	rg := r.rings[id]
+	r.mu.Unlock()
+	return rg
+}
+
+// Emit records a fully built event, stamping Seq and (when unset) At.
+// Prefer the typed helpers below at instrumentation sites: their scalar
+// arguments avoid constructing an Event on the disabled path.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	r.emit(e)
+}
+
+func (r *Recorder) emit(e Event) {
+	e.Seq = r.seq.Add(1)
+	if e.At == 0 {
+		e.At = r.now()
+	}
+	id := e.VSSD
+	if id < 0 {
+		id = 0
+	}
+	rg := r.ringFor(id)
+	rg.mu.Lock()
+	if len(rg.evs) < r.limit {
+		rg.evs = append(rg.evs, e)
+	} else {
+		rg.evs[rg.next] = e
+		rg.next = (rg.next + 1) % r.limit
+		rg.full = true
+	}
+	rg.mu.Unlock()
+}
+
+// Decision records one RL action decision (kind KindHarvest,
+// KindMakeHarvestable, or KindSetPriority).
+func (r *Recorder) Decision(kind EventKind, vssd int, bw float64, level int) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: kind, VSSD: vssd, BW: bw, Level: level, Peer: -1})
+}
+
+// Reward records an agent's per-window reward feedback.
+func (r *Recorder) Reward(vssd int, single, mixed float64) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindReward, VSSD: vssd, Single: single, Reward: mixed, Peer: -1})
+}
+
+// Verdict records an admission-control outcome for a harvest-related
+// action (kind KindAdmissionAdmit or KindAdmissionFilter).
+func (r *Recorder) Verdict(kind EventKind, vssd int, action string, bw float64) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: kind, VSSD: vssd, Action: action, BW: bw, Peer: -1})
+}
+
+// GSB records a ghost-superblock lifecycle event.
+func (r *Recorder) GSB(kind EventKind, gsbID, vssd, peer, channels int) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: kind, VSSD: vssd, Peer: peer, GSB: gsbID, Channels: channels})
+}
+
+// GCRun records a GC victim selection.
+func (r *Recorder) GCRun(tenant, block, valid int, harvested bool) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindGCRun, VSSD: tenant, Block: block, Valid: valid, Harvested: harvested, Peer: -1})
+}
+
+// SLOViolation records a completed request that missed its SLO.
+func (r *Recorder) SLOViolation(vssd int, latency, slo int64) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindSLOViolation, VSSD: vssd, LatencyNs: latency, SLONs: slo, Peer: -1})
+}
+
+// Len returns the total number of events currently held (not the number
+// emitted; rings discard their oldest entries at capacity).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	r.mu.RLock()
+	rings := r.rings
+	r.mu.RUnlock()
+	for _, rg := range rings {
+		rg.mu.Lock()
+		n += len(rg.evs)
+		rg.mu.Unlock()
+	}
+	return n
+}
+
+// Events returns the held events of every vSSD merged into one slice
+// ordered by (At, Seq). It copies under the ring locks, so it is safe
+// while emitters are running.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	rings := r.rings
+	r.mu.RUnlock()
+	var out []Event
+	for _, rg := range rings {
+		rg.mu.Lock()
+		if rg.full {
+			out = append(out, rg.evs[rg.next:]...)
+			out = append(out, rg.evs[:rg.next]...)
+		} else {
+			out = append(out, rg.evs...)
+		}
+		rg.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// EventsFor returns the held events of one vSSD in emission order.
+func (r *Recorder) EventsFor(vssd int) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	if vssd < 0 || vssd >= len(r.rings) {
+		r.mu.RUnlock()
+		return nil
+	}
+	rg := r.rings[vssd]
+	r.mu.RUnlock()
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if rg.full {
+		out := make([]Event, 0, len(rg.evs))
+		out = append(out, rg.evs[rg.next:]...)
+		out = append(out, rg.evs[:rg.next]...)
+		return out
+	}
+	return append([]Event(nil), rg.evs...)
+}
+
+// WriteJSONL writes every held event as one JSON object per line, in
+// (At, Seq) order — the -trace output format of cmd/fleetsim. The schema
+// is the Event struct's JSON encoding, documented in
+// docs/OBSERVABILITY.md.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL decodes a JSONL trace written by WriteJSONL.
+func ReadJSONL(rd io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(rd)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

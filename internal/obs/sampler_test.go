@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSamplerTicksAndStops(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSampler()
+	var seen []sim.Time
+	s.AddProbe(func(now sim.Time) { seen = append(seen, now) })
+	s.Start(eng, 10*sim.Millisecond)
+	eng.RunUntil(55 * sim.Millisecond)
+	if s.Ticks() != 5 {
+		t.Fatalf("got %d ticks in 55ms at 10ms cadence, want 5", s.Ticks())
+	}
+	if len(seen) != 5 || seen[0] != 10*sim.Millisecond {
+		t.Fatalf("probe observations %v", seen)
+	}
+	s.Stop()
+	// The ticker lapses on its next firing; the queue then drains fully.
+	eng.Run()
+	if s.Ticks() != 5 {
+		t.Fatalf("ticks advanced to %d after Stop", s.Ticks())
+	}
+}
+
+func TestSamplerDefaultPeriod(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSampler()
+	s.Start(eng, 0)
+	eng.RunUntil(DefaultSamplePeriod * 3)
+	if s.Ticks() != 3 {
+		t.Fatalf("got %d ticks, want 3", s.Ticks())
+	}
+	s.Stop()
+	eng.Run()
+}
+
+func TestNilSamplerIsSafe(t *testing.T) {
+	var s *Sampler
+	s.AddProbe(func(sim.Time) {})
+	s.Start(sim.NewEngine(), 0)
+	s.Stop()
+	if s.Ticks() != 0 {
+		t.Fatal("nil sampler ticked")
+	}
+}

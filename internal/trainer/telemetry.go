@@ -10,6 +10,12 @@ import (
 // policy drift, collection throughput, and the eval gate's verdict. The
 // TransPerSec/WallMs pair makes training speed itself benchmarkable
 // across worker counts and hardware.
+//
+// Serialized with the json tags below, one object per line (see
+// docs/OBSERVABILITY.md, "Trainer JSONL schema"). EvalScore and Best are
+// omitted on rounds where the eval gate did not run; WallMs/TransPerSec
+// are wall-clock measurements, everything else is training statistics.
+// The same fields back the fleetio_train_* gauges when Config.Obs is set.
 type RoundStats struct {
 	Round       int      `json:"round"`
 	Episodes    int      `json:"episodes"`

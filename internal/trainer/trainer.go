@@ -14,6 +14,13 @@
 // snapshot of its round, rounds are merged in episode order (not arrival
 // order), and the learner's RNG is derived from Seed — so for a fixed
 // worker count two Runs produce byte-identical models.
+//
+// Telemetry: each round produces one RoundStats record, which feeds three
+// sinks — Result.Rounds (in memory), Config.MetricsPath (append-mode
+// JSONL, schema documented on RoundStats and in docs/OBSERVABILITY.md),
+// and Config.Obs (live fleetio_train_* gauges for /metrics scraping).
+// All three are written from the learner goroutine only, so attaching
+// them never perturbs training determinism.
 package trainer
 
 import (
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rl"
 	"repro/internal/sim"
 )
@@ -71,6 +79,11 @@ type Config struct {
 	MetricsPath string
 	// Logf, when set, receives human-readable per-round progress.
 	Logf func(format string, args ...any)
+
+	// Obs, when non-nil, exports per-round training gauges (reward,
+	// losses, ApproxKL, worker throughput) for a live /metrics endpoint.
+	// Gauges are written only from the learner goroutine.
+	Obs *obs.Registry
 }
 
 // Result is what a training run produced.
@@ -145,6 +158,8 @@ func Run(cfg Config) (*Result, error) {
 			logf("resumed from %s (round %d, %d params)", path, ck.Round, len(ck.Params))
 		}
 	}
+
+	gauges := newTrainGauges(cfg.Obs)
 
 	var mw *metricsWriter
 	if cfg.MetricsPath != "" {
@@ -246,6 +261,7 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 		}
+		gauges.update(rs, res.BestScore)
 		res.Rounds = append(res.Rounds, rs)
 		logf("round %d/%d: %d eps, %d steps, reward %.4f, kl %.5f, %.0f steps/s",
 			round+1, totalRounds, rs.Episodes, rs.Transitions, rs.MeanReward, rs.ApproxKL, rs.TransPerSec)

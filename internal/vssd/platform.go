@@ -6,6 +6,7 @@ import (
 	"repro/internal/flash"
 	"repro/internal/ftl"
 	"repro/internal/gsb"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -41,6 +42,10 @@ type Platform struct {
 
 	overprovision float64
 	opsSubmitted  int64
+
+	// rec receives decision events from the whole device stack; nil (the
+	// default) disables tracing at the cost of one nil check per site.
+	rec *obs.Recorder
 }
 
 // NewPlatform builds the device, FTL, and gSB manager on the engine.
@@ -64,6 +69,19 @@ func NewPlatform(eng *sim.Engine, pc PlatformConfig) *Platform {
 
 // Engine returns the simulation engine.
 func (p *Platform) Engine() *sim.Engine { return p.eng }
+
+// SetObserver attaches a decision-event recorder to the platform and its
+// FTL and gSB managers, and points the recorder's clock at this
+// platform's engine. Passing nil detaches tracing everywhere.
+func (p *Platform) SetObserver(rec *obs.Recorder) {
+	p.rec = rec
+	p.ftlm.SetObserver(rec)
+	p.gsbm.SetObserver(rec)
+	rec.SetClock(p.eng.Now)
+}
+
+// Observer returns the attached recorder (nil when tracing is off).
+func (p *Platform) Observer() *obs.Recorder { return p.rec }
 
 // Device returns the flash device.
 func (p *Platform) Device() *flash.Device { return p.dev }

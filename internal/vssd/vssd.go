@@ -330,6 +330,9 @@ func (v *VSSD) pageDone(r *Request, at sim.Time) {
 	if r.remaining == 0 {
 		lat := at - r.Arrival
 		qd := r.firstDispatch - r.Arrival
+		if v.slo > 0 && lat > v.slo {
+			v.plat.rec.SLOViolation(v.id, lat, v.slo)
+		}
 		v.window.Complete(r.Write, r.Bytes(v.plat.cfg.PageSize), lat, qd, v.slo)
 		v.totalHist.Add(lat)
 		v.completed++

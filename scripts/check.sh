@@ -1,13 +1,42 @@
 #!/usr/bin/env sh
-# check.sh — the repo's `make check` equivalent: vet, build, full test
-# suite, then the race detector on the concurrency-heavy packages (the
-# trainer's worker pool, the lock-free gSB pool, and admission batching).
+# check.sh — the repo's `make check` equivalent: formatting, vet, a doc
+# lint on the observability API, build, full test suite, then the race
+# detector on the concurrency-heavy packages (the trainer's worker pool,
+# the lock-free gSB pool, admission batching, and the obs recorder that
+# both of them write into).
 set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
+
+echo "== doc lint (internal/obs exported identifiers)"
+# internal/obs is the repo's external-facing surface (its names become
+# JSONL fields and /metrics series), so every exported identifier must
+# carry a doc comment. Flag exported top-level declarations whose
+# preceding line is not a comment.
+obs_sources=$(ls internal/obs/*.go | grep -v _test.go)
+undocumented=$(awk '
+    FNR == 1 { prev = "" }
+    /^(func|type|const|var) [A-Z]/ || /^func \([a-zA-Z]+ \*?[A-Z][a-zA-Z]*\) [A-Z]/ {
+        if (prev !~ /^\/\//) printf "%s:%d: %s\n", FILENAME, FNR, $0
+    }
+    { prev = $0 }
+' $obs_sources)
+if [ -n "$undocumented" ]; then
+    echo "undocumented exported identifiers in internal/obs:" >&2
+    echo "$undocumented" >&2
+    exit 1
+fi
 
 echo "== go build ./..."
 go build ./...
@@ -16,6 +45,6 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency-heavy packages)"
-go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/...
+go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/... ./internal/obs/...
 
 echo "check.sh: all green"
