@@ -149,6 +149,8 @@ func overheadNet() (*rl.PPO, []float64) {
 // 1.1 ms on their board's host CPU).
 func BenchmarkInference(b *testing.B) {
 	ppo, state := overheadNet()
+	ppo.ActGreedy(state) // size the reusable scratch outside the timed loop
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ppo.ActGreedy(state)
@@ -159,6 +161,7 @@ func BenchmarkInference(b *testing.B) {
 // transitions (paper: 51.2 ms per 10 windows).
 func BenchmarkFineTune(b *testing.B) {
 	ppo, state := overheadNet()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -188,6 +191,7 @@ func overheadPlatform() *vssd.Platform {
 func BenchmarkGSBCreate(b *testing.B) {
 	p := overheadPlatform()
 	home := p.VSSD(0).Tenant()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.GSB().SetHarvestable(home, 1)
@@ -200,7 +204,7 @@ func BenchmarkGSBCreate(b *testing.B) {
 func BenchmarkAdmissionBatch(b *testing.B) {
 	p := overheadPlatform()
 	adm := admission.NewController(p, nil)
-	bw := p.FlashConfig().ChannelBandwidth()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -212,7 +216,6 @@ func BenchmarkAdmissionBatch(b *testing.B) {
 		b.StartTimer()
 		adm.Flush()
 	}
-	_ = bw
 }
 
 // --- Ablation benchmarks (DESIGN.md design choices) -------------------
@@ -333,6 +336,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			eng.Schedule(100, tick)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	eng.Schedule(100, tick)
 	eng.Run()

@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	fleetbench [-fig all|2|3|6|10|14|15|16|17|overhead] [-seconds N] [-model file]
+//	fleetbench [-fig all|2|3|6|10|14|15|16|17|overhead] [-seconds N] [-model file] [-parallel N]
 //
 // Figures 10–13 share one set of runs and are printed together.
+// Independent experiment runs fan out over -parallel workers (default: one
+// per CPU); results are byte-identical at any worker count.
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	model := flag.String("model", "", "pretrained model file (from fleettrain); pretrains in-process when empty")
 	httpAddr := flag.String("http", "", "serve live run telemetry on /metrics and pprof on /debug/pprof/")
+	parallel := flag.Int("parallel", 0, "experiment runs in flight at once (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	if *model != "" {
@@ -46,11 +49,12 @@ func main() {
 	opt.Duration = sim.Time(*seconds * 1e9)
 	opt.Warmup = sim.Time(*warmup * 1e9)
 	opt.Window = sim.Time(*windowMs) * sim.Millisecond
+	opt.Workers = *parallel
 	opt = harness.WithPretrained(opt)
 
 	if *httpAddr != "" {
-		// Figure runs execute sequentially, so one observer serves them
-		// all; /metrics always shows the run in flight.
+		// One observer serves every figure run; with parallel runs in
+		// flight /metrics shows their merged live gauges.
 		opt.Obs = obs.NewObserver()
 		srv, err := obs.Serve(*httpAddr, opt.Obs.Registry())
 		if err != nil {

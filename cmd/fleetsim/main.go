@@ -10,6 +10,9 @@
 // format) and the pprof handlers on /debug/pprof/, and keeps serving after
 // the results print until interrupted. -trace writes every recorded
 // decision event as JSONL (see docs/OBSERVABILITY.md for both schemas).
+// -parallel bounds how many independent runs the harness keeps in flight
+// (a single fleetsim experiment is one run, so it matters mostly when the
+// harness fans out internally).
 package main
 
 import (
@@ -34,6 +37,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof/ on this address (e.g. :8080)")
 	tracePath := flag.String("trace", "", "write decision events to this JSONL file")
+	parallel := flag.Int("parallel", 0, "experiment runs in flight at once (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	kinds := map[string]harness.PolicyKind{
@@ -53,6 +57,7 @@ func main() {
 	opt := harness.DefaultOptions()
 	opt.Seed = *seed
 	opt.Duration = sim.Time(*seconds * 1e9)
+	opt.Workers = *parallel
 	if kind == harness.PolFleetIO {
 		opt = harness.WithPretrained(opt)
 	}

@@ -17,11 +17,14 @@ import (
 
 // PairGrid runs every evaluation pair under the given policies, reusing
 // one calibration per pair. It is the data source for Figures 2, 3, 10,
-// 11, 12, 13, and 15.
+// 11, 12, 13, and 15. The whole (pair × policy) grid runs as one flat
+// job list on the opt.Workers pool.
 func PairGrid(kinds []PolicyKind, opt Options) map[string][]Result {
-	out := make(map[string][]Result)
-	for _, mix := range EvalPairs() {
-		out[mix.Label] = Compare(mix, kinds, opt)
+	mixes := EvalPairs()
+	rows := compareAll(mixes, kinds, opt)
+	out := make(map[string][]Result, len(mixes))
+	for i, mix := range mixes {
+		out[mix.Label] = rows[i]
 	}
 	return out
 }
@@ -189,14 +192,16 @@ func shorten(s string) string {
 // Figure14 prints the scalability study over the Table 5 mixes.
 func Figure14(w io.Writer, opt Options) {
 	pols := AllPolicies()
+	mixes := Table5Mixes()
+	rows := compareAll(mixes, pols, opt)
 	fmt.Fprintln(w, "Figure 14: scalability over Table 5 mixes (2/4/8 vSSDs)")
 	fmt.Fprintf(w, "%-8s %-7s", "mix", "vSSDs")
 	for _, p := range pols {
 		fmt.Fprintf(w, " %14s", shorten(p.String()))
 	}
 	fmt.Fprintln(w, "   (util%% | LS P99 norm | BI BW norm)")
-	for _, mix := range Table5Mixes() {
-		rs := Compare(mix, pols, opt)
+	for i, mix := range mixes {
+		rs := rows[i]
 		hw := find(rs, "Hardware Isolation")
 		fmt.Fprintf(w, "%-8s %-7d", mix.Label, len(mix.Workloads))
 		for _, p := range pols {
@@ -216,14 +221,16 @@ func Figure14(w io.Writer, opt Options) {
 // (one α for all) vs Customized-Local (β=1).
 func Figure15(w io.Writer, opt Options) {
 	kinds := []PolicyKind{PolHardware, PolFleetIOCustomizedLocal, PolFleetIOUnifiedGlobal, PolFleetIO, PolSoftware}
+	mixes := EvalPairs()
+	rows := compareAll(mixes, kinds, opt)
 	fmt.Fprintln(w, "Figure 15: reward ablation — utilization (%) and LS P99 (ms)")
 	fmt.Fprintf(w, "%-22s", "pair")
 	for _, p := range kinds {
 		fmt.Fprintf(w, " %14s", shorten(p.String()))
 	}
 	fmt.Fprintln(w)
-	for _, mix := range EvalPairs() {
-		rs := Compare(mix, kinds, opt)
+	for i, mix := range mixes {
+		rs := rows[i]
 		fmt.Fprintf(w, "%-22s", mix.Label)
 		for _, p := range kinds {
 			r := find(rs, p.String())
@@ -249,9 +256,18 @@ type Figure16Result struct {
 // software-isolated pool.
 func Figure16(w io.Writer, opt Options) []Figure16Result {
 	fmt.Fprintln(w, "Figure 16: mixed hardware- and software-isolated vSSDs (mix3)")
+	kinds := []PolicyKind{PolHardware, PolSoftware, PolFleetIO}
+	// One calibration defines the SLOs for all three topologies; the runs
+	// themselves are independent and fan out over the worker pool.
+	mix := MixSpec{Label: "mix3-mixed", Workloads: []string{"VDI-Web", "VDI-Web", "TeraSort", "TeraSort"}}
+	slos := Calibrate(mix, opt)
+	results := make([]Result, len(kinds))
+	forEach(len(kinds), opt.workers(), func(i int) {
+		results[i] = runMixedIsolation(mix, kinds[i], slos, opt)
+	})
 	var out []Figure16Result
-	for _, kind := range []PolicyKind{PolHardware, PolSoftware, PolFleetIO} {
-		res := runMixedIsolation(kind, opt)
+	for i, kind := range kinds {
+		res := results[i]
 		label := kind.String()
 		if kind == PolHardware {
 			label = "Mixed Isolation"
@@ -271,11 +287,9 @@ func Figure16(w io.Writer, opt Options) []Figure16Result {
 	return out
 }
 
-// runMixedIsolation builds the Figure 16 topology by hand.
-func runMixedIsolation(kind PolicyKind, opt Options) Result {
-	mix := MixSpec{Label: "mix3-mixed", Workloads: []string{"VDI-Web", "VDI-Web", "TeraSort", "TeraSort"}}
-	slos := Calibrate(MixSpec{Label: mix.Label, Workloads: mix.Workloads}, opt)
-
+// runMixedIsolation builds the Figure 16 topology by hand from the given
+// calibrated SLOs.
+func runMixedIsolation(mix MixSpec, kind PolicyKind, slos []sim.Time, opt Options) Result {
 	eng := sim.NewEngine()
 	pc := vssd.DefaultPlatformConfig()
 	pc.Flash = opt.flashConfig()
@@ -373,23 +387,29 @@ func Figure17(w io.Writer, opt Options) []Figure17Row {
 	}
 	fmt.Fprintln(w, "Figure 17: robustness to collocated workload changes")
 	fmt.Fprintf(w, "%-12s %14s %14s %10s (metric: %s)\n", "case", "pretrained", "transfer", "ratio", "BI MB/s or LS P99 ms")
-	var rows []Figure17Row
-	for _, c := range cases {
-		finalMix := MixSpec{Label: c.label, Workloads: []string{c.keep, c.to}}
-		if !c.keepIsBandwidth {
-			finalMix.Workloads = []string{c.keep, c.to}
+	// Each case is two independent experiments (pretrained run and transfer
+	// run); fan all 2×6 of them out as one flat job list, then print in the
+	// original case order.
+	rows := make([]Figure17Row, len(cases))
+	forEach(2*len(cases), opt.workers(), func(j int) {
+		c := cases[j/2]
+		if j%2 == 0 {
+			finalMix := MixSpec{Label: c.label, Workloads: []string{c.keep, c.to}}
+			rows[j/2].Pretrained = Compare(finalMix, []PolicyKind{PolFleetIO}, opt)[0]
+		} else {
+			rows[j/2].Transferred = RunTransfer(c.keep, c.from, c.to, opt)
 		}
-		pre := Compare(finalMix, []PolicyKind{PolFleetIO}, opt)[0]
-		tr := RunTransfer(c.keep, c.from, c.to, opt)
+	})
+	for i, c := range cases {
+		rows[i].Label = c.label
+		pre, tr := rows[i].Pretrained, rows[i].Transferred
 		var a, b float64
 		if c.keepIsBandwidth {
 			a, b = pre.BandwidthTenant(), tr.BandwidthTenant()
 		} else {
 			a, b = pre.LatencyTenantP99(), tr.LatencyTenantP99()
 		}
-		ratio := b / a
-		fmt.Fprintf(w, "%-12s %14.2f %14.2f %9.2fx\n", c.label, a, b, ratio)
-		rows = append(rows, Figure17Row{Label: c.label, Pretrained: pre, Transferred: tr})
+		fmt.Fprintf(w, "%-12s %14.2f %14.2f %9.2fx\n", c.label, a, b, b/a)
 	}
 	fmt.Fprintln(w, "(paper: transfer within 5% of pretrained across all combinations)")
 	fmt.Fprintln(w)

@@ -89,6 +89,11 @@ type Options struct {
 	// Obs, when non-nil, attaches decision tracing and time-series
 	// telemetry to the measured run (calibration runs stay unobserved).
 	Obs *obs.Observer
+	// Workers bounds how many independent simulations Compare, PairGrid,
+	// and the figure sweeps run concurrently (each on its own engine).
+	// 0 means GOMAXPROCS; 1 forces sequential execution. Results are
+	// byte-identical at any setting.
+	Workers int
 }
 
 // DefaultOptions returns fast, deterministic settings for tests/benches.
@@ -491,12 +496,15 @@ func RunOne(mix MixSpec, kind PolicyKind, slos []sim.Time, opt Options) Result {
 	return r.collect(mix, kind)
 }
 
-// Compare calibrates the mix once and runs every requested policy.
+// Compare calibrates the mix once and runs every requested policy. The
+// per-policy runs are independent deterministic simulations, so they fan
+// out over opt.Workers goroutines; results are returned in kinds order
+// and are identical to a sequential loop.
 func Compare(mix MixSpec, kinds []PolicyKind, opt Options) []Result {
 	slos := Calibrate(mix, opt)
-	out := make([]Result, 0, len(kinds))
-	for _, k := range kinds {
-		out = append(out, RunOne(mix, k, slos, opt))
-	}
+	out := make([]Result, len(kinds))
+	forEach(len(kinds), opt.workers(), func(i int) {
+		out[i] = RunOne(mix, kinds[i], slos, opt)
+	})
 	return out
 }

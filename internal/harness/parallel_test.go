@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Compare must produce identical Result structs at any worker count —
+// every run owns its engine, platform, and RNG streams, and results land
+// in index-addressed slots.
+func TestCompareParallelMatchesSequential(t *testing.T) {
+	opt := WithPretrained(fastOptions())
+	opt.Duration = 3 * sim.Second
+	mix := Pair("YCSB", "TeraSort")
+	kinds := []PolicyKind{PolHardware, PolSoftware, PolFleetIO}
+
+	opt.Workers = 1
+	seq := Compare(mix, kinds, opt)
+	opt.Workers = 4
+	par := Compare(mix, kinds, opt)
+
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel Compare diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// compareAll (the figure grids) must match per-mix sequential Compare
+// exactly, including row order.
+func TestCompareAllMatchesCompare(t *testing.T) {
+	opt := fastOptions()
+	opt.Duration = 3 * sim.Second
+	mixes := []MixSpec{Pair("YCSB", "TeraSort"), Pair("VDI-Web", "PageRank")}
+	kinds := []PolicyKind{PolHardware, PolSoftware}
+
+	opt.Workers = 4
+	rows := compareAll(mixes, kinds, opt)
+
+	opt.Workers = 1
+	for i, mix := range mixes {
+		want := Compare(mix, kinds, opt)
+		if !reflect.DeepEqual(rows[i], want) {
+			t.Fatalf("compareAll row %d (%s) diverged:\ngrid: %+v\nseq:  %+v", i, mix.Label, rows[i], want)
+		}
+	}
+}
+
+// Parallel runs sharing one Observer must be race-clean (run under -race)
+// and still produce deterministic results.
+func TestCompareParallelWithObserver(t *testing.T) {
+	opt := fastOptions()
+	opt.Duration = 3 * sim.Second
+	opt.Obs = obs.NewObserver()
+	opt.Workers = 4
+	mix := Pair("YCSB", "TeraSort")
+	kinds := []PolicyKind{PolHardware, PolSoftware, PolAdaptive}
+
+	par := Compare(mix, kinds, opt)
+
+	opt.Obs = obs.NewObserver()
+	opt.Workers = 1
+	seq := Compare(mix, kinds, opt)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("observed parallel Compare diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if opt.Obs.Recorder().Len() == 0 {
+		// Static policies record window events; an empty recorder means the
+		// observer was never wired through.
+		t.Fatal("observer recorded no events")
+	}
+}
+
+// Figure16's fan-out must print the same bytes at any worker count.
+func TestFigure16ParallelDeterministic(t *testing.T) {
+	opt := WithPretrained(fastOptions())
+	opt.Duration = 3 * sim.Second
+
+	var seq, par bytes.Buffer
+	opt.Workers = 1
+	resSeq := Figure16(&seq, opt)
+	opt.Workers = 4
+	resPar := Figure16(&par, opt)
+
+	if !reflect.DeepEqual(resSeq, resPar) {
+		t.Fatalf("Figure16 results diverged:\nseq: %+v\npar: %+v", resSeq, resPar)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("Figure16 output diverged:\nseq:\n%s\npar:\n%s", seq.String(), par.String())
+	}
+}
+
+// forEach must hit every index exactly once for awkward worker/job ratios.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 2, 5, 31} {
+			hits := make([]int32, n)
+			forEach(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}

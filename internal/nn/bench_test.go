@@ -20,6 +20,7 @@ func benchNet() (*ActorCritic, []float64) {
 // network.
 func BenchmarkForward(b *testing.B) {
 	net, x := benchNet()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.Forward(x)
@@ -35,6 +36,7 @@ func BenchmarkForwardBackward(b *testing.B) {
 			d[i] = 0.1
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _, cache := net.Forward(x)

@@ -44,11 +44,13 @@ func NewLinear(in, out int, rng *sim.RNG) *Linear {
 	return l
 }
 
-// Forward computes y = Wx + b into y (len Out).
+// Forward computes y = Wx + b into y (len Out). x must have length In.
 func (l *Linear) Forward(x, y []float64) {
+	in := l.In
+	x = x[:in] // one bounds check here lets the inner loop elide them
 	for o := 0; o < l.Out; o++ {
 		sum := l.B[o]
-		row := l.W[o*l.In : (o+1)*l.In]
+		row := l.W[o*in : o*in+in]
 		for i, xi := range x {
 			sum += row[i] * xi
 		}
@@ -56,27 +58,30 @@ func (l *Linear) Forward(x, y []float64) {
 	}
 }
 
-// Backward accumulates parameter gradients given the layer input x and the
-// upstream gradient dy, and writes the input gradient into dx (len In,
-// may be nil to skip).
+// Backward accumulates parameter gradients given the layer input x (len
+// In) and the upstream gradient dy, and writes the input gradient into dx
+// (len In, may be nil to skip).
 func (l *Linear) Backward(x, dy, dx []float64) {
+	in := l.In
+	x = x[:in]
 	for o := 0; o < l.Out; o++ {
 		g := dy[o]
 		l.GB[o] += g
-		grow := l.GW[o*l.In : (o+1)*l.In]
+		grow := l.GW[o*in : o*in+in]
 		for i, xi := range x {
 			grow[i] += g * xi
 		}
 	}
 	if dx != nil {
+		dx = dx[:in]
 		for i := range dx {
 			dx[i] = 0
 		}
 		for o := 0; o < l.Out; o++ {
 			g := dy[o]
-			row := l.W[o*l.In : (o+1)*l.In]
-			for i := range dx {
-				dx[i] += row[i] * g
+			row := l.W[o*in : o*in+in]
+			for i, wi := range row {
+				dx[i] += wi * g
 			}
 		}
 	}
@@ -196,6 +201,18 @@ type ActorCritic struct {
 	L1, L2 *Linear
 	Heads  []*Linear
 	Value  *Linear
+
+	// Reusable forward/backward scratch, lazily sized on first use so
+	// steady-state Forward/Backward performs zero allocations (§4.7: the
+	// per-window inference runs on every agent every 2 s, and pretraining
+	// runs it millions of times). Unexported, so gob round-trips and
+	// Clone hand out networks with fresh scratch. Like the network's
+	// gradient accumulators, scratch makes a network single-goroutine.
+	fw                       *Cache
+	logits                   [][]float64
+	valOut                   []float64
+	dA2, dTmp, dH2, dA1, dH1 []float64
+	dVal                     [1]float64
 }
 
 // NewActorCritic builds the network: in → hidden tanh → hidden tanh →
@@ -221,12 +238,22 @@ type Cache struct {
 }
 
 // Forward runs the network, returning per-head logits and the value.
+//
+// The returned logits and cache are owned by the network and reused: they
+// are valid until the next Forward call on the same *ActorCritic. Copy
+// anything that must outlive that (the PPO training loop consumes them
+// before re-entering Forward, so the hot paths never need to).
 func (ac *ActorCritic) Forward(x []float64) (logits [][]float64, value float64, cache *Cache) {
-	c := &Cache{
-		X:  append([]float64(nil), x...),
-		H1: make([]float64, ac.L1.Out), A1: make([]float64, ac.L1.Out),
-		H2: make([]float64, ac.L2.Out), A2: make([]float64, ac.L2.Out),
+	c := ac.fw
+	if c == nil || len(c.X) != len(x) {
+		c = &Cache{
+			X:  make([]float64, len(x)),
+			H1: make([]float64, ac.L1.Out), A1: make([]float64, ac.L1.Out),
+			H2: make([]float64, ac.L2.Out), A2: make([]float64, ac.L2.Out),
+		}
+		ac.fw = c
 	}
+	copy(c.X, x)
 	ac.L1.Forward(c.X, c.H1)
 	for i, v := range c.H1 {
 		c.A1[i] = math.Tanh(v)
@@ -235,21 +262,34 @@ func (ac *ActorCritic) Forward(x []float64) (logits [][]float64, value float64, 
 	for i, v := range c.H2 {
 		c.A2[i] = math.Tanh(v)
 	}
-	logits = make([][]float64, len(ac.Heads))
-	for k, h := range ac.Heads {
-		logits[k] = make([]float64, h.Out)
-		h.Forward(c.A2, logits[k])
+	if ac.logits == nil {
+		ac.logits = make([][]float64, len(ac.Heads))
+		for k, h := range ac.Heads {
+			ac.logits[k] = make([]float64, h.Out)
+		}
+		ac.valOut = make([]float64, 1)
 	}
-	out := make([]float64, 1)
-	ac.Value.Forward(c.A2, out)
-	return logits, out[0], c
+	for k, h := range ac.Heads {
+		h.Forward(c.A2, ac.logits[k])
+	}
+	ac.Value.Forward(c.A2, ac.valOut)
+	return ac.logits, ac.valOut[0], c
 }
 
 // Backward accumulates gradients given upstream gradients for each head's
 // logits (nil entries are skipped) and the value output.
 func (ac *ActorCritic) Backward(c *Cache, dLogits [][]float64, dValue float64) {
-	dA2 := make([]float64, ac.L2.Out)
-	tmp := make([]float64, ac.L2.Out)
+	if len(ac.dA2) != ac.L2.Out || len(ac.dA1) != ac.L1.Out {
+		ac.dA2 = make([]float64, ac.L2.Out)
+		ac.dTmp = make([]float64, ac.L2.Out)
+		ac.dH2 = make([]float64, ac.L2.Out)
+		ac.dA1 = make([]float64, ac.L1.Out)
+		ac.dH1 = make([]float64, ac.L1.Out)
+	}
+	dA2, tmp := ac.dA2, ac.dTmp
+	for i := range dA2 {
+		dA2[i] = 0
+	}
 	for k, h := range ac.Heads {
 		if dLogits[k] == nil {
 			continue
@@ -260,19 +300,20 @@ func (ac *ActorCritic) Backward(c *Cache, dLogits [][]float64, dValue float64) {
 		}
 	}
 	if dValue != 0 {
-		ac.Value.Backward(c.A2, []float64{dValue}, tmp)
+		ac.dVal[0] = dValue
+		ac.Value.Backward(c.A2, ac.dVal[:], tmp)
 		for i := range dA2 {
 			dA2[i] += tmp[i]
 		}
 	}
 	// Through tanh at layer 2.
-	dH2 := make([]float64, ac.L2.Out)
+	dH2 := ac.dH2
 	for i := range dH2 {
 		dH2[i] = dA2[i] * (1 - c.A2[i]*c.A2[i])
 	}
-	dA1 := make([]float64, ac.L1.Out)
+	dA1 := ac.dA1
 	ac.L2.Backward(c.A1, dH2, dA1)
-	dH1 := make([]float64, ac.L1.Out)
+	dH1 := ac.dH1
 	for i := range dH1 {
 		dH1[i] = dA1[i] * (1 - c.A1[i]*c.A1[i])
 	}

@@ -21,10 +21,19 @@ const DefaultRingSize = 4096
 // different vSSDs do not contend. A nil *Recorder is the disabled
 // recorder — every method returns immediately after one nil check, which
 // is the entire overhead instrumented code pays when tracing is off.
+//
+// A Recorder is a view: the clock is per-view while the event storage is
+// shared, so Bind can hand each concurrent run a view stamping virtual
+// timestamps from that run's own engine (see Bind).
 type Recorder struct {
+	clock atomic.Value // func() sim.Time
+	state *recState
+}
+
+// recState is the event storage shared by every bound view.
+type recState struct {
 	limit int
 	seq   atomic.Uint64
-	clock atomic.Value // func() sim.Time
 
 	mu    sync.RWMutex
 	rings []*ring
@@ -46,7 +55,7 @@ func NewRecorder(perVSSD int) *Recorder {
 	if perVSSD <= 0 {
 		perVSSD = DefaultRingSize
 	}
-	return &Recorder{limit: perVSSD}
+	return &Recorder{state: &recState{limit: perVSSD}}
 }
 
 // SetClock installs the virtual-time source (typically eng.Now of the
@@ -57,6 +66,20 @@ func (r *Recorder) SetClock(now func() sim.Time) {
 		return
 	}
 	r.clock.Store(now)
+}
+
+// Bind returns a view that stamps events with the given clock while
+// sharing rings and sequence numbers with r. Runs executing concurrently
+// each bind their own engine's Now so no run ever reads another run's
+// virtual clock (engines are single-goroutine). Binding the nil recorder
+// stays nil (tracing off).
+func (r *Recorder) Bind(now func() sim.Time) *Recorder {
+	if r == nil {
+		return nil
+	}
+	v := &Recorder{state: r.state}
+	v.SetClock(now)
+	return v
 }
 
 // Enabled reports whether the recorder is live (non-nil); call sites that
@@ -73,20 +96,20 @@ func (r *Recorder) now() sim.Time {
 // ringFor returns the ring for a vSSD id, growing the table as needed.
 // Negative ids (events not tied to a vSSD) share ring 0's table slot via
 // index clamping at emit time.
-func (r *Recorder) ringFor(id int) *ring {
-	r.mu.RLock()
-	if id < len(r.rings) {
-		rg := r.rings[id]
-		r.mu.RUnlock()
+func (s *recState) ringFor(id int) *ring {
+	s.mu.RLock()
+	if id < len(s.rings) {
+		rg := s.rings[id]
+		s.mu.RUnlock()
 		return rg
 	}
-	r.mu.RUnlock()
-	r.mu.Lock()
-	for len(r.rings) <= id {
-		r.rings = append(r.rings, &ring{})
+	s.mu.RUnlock()
+	s.mu.Lock()
+	for len(s.rings) <= id {
+		s.rings = append(s.rings, &ring{})
 	}
-	rg := r.rings[id]
-	r.mu.Unlock()
+	rg := s.rings[id]
+	s.mu.Unlock()
 	return rg
 }
 
@@ -101,7 +124,8 @@ func (r *Recorder) Emit(e Event) {
 }
 
 func (r *Recorder) emit(e Event) {
-	e.Seq = r.seq.Add(1)
+	s := r.state
+	e.Seq = s.seq.Add(1)
 	if e.At == 0 {
 		e.At = r.now()
 	}
@@ -109,13 +133,13 @@ func (r *Recorder) emit(e Event) {
 	if id < 0 {
 		id = 0
 	}
-	rg := r.ringFor(id)
+	rg := s.ringFor(id)
 	rg.mu.Lock()
-	if len(rg.evs) < r.limit {
+	if len(rg.evs) < s.limit {
 		rg.evs = append(rg.evs, e)
 	} else {
 		rg.evs[rg.next] = e
-		rg.next = (rg.next + 1) % r.limit
+		rg.next = (rg.next + 1) % s.limit
 		rg.full = true
 	}
 	rg.mu.Unlock()
@@ -178,9 +202,9 @@ func (r *Recorder) Len() int {
 		return 0
 	}
 	n := 0
-	r.mu.RLock()
-	rings := r.rings
-	r.mu.RUnlock()
+	r.state.mu.RLock()
+	rings := r.state.rings
+	r.state.mu.RUnlock()
 	for _, rg := range rings {
 		rg.mu.Lock()
 		n += len(rg.evs)
@@ -196,9 +220,9 @@ func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	rings := r.rings
-	r.mu.RUnlock()
+	r.state.mu.RLock()
+	rings := r.state.rings
+	r.state.mu.RUnlock()
 	var out []Event
 	for _, rg := range rings {
 		rg.mu.Lock()
@@ -224,13 +248,13 @@ func (r *Recorder) EventsFor(vssd int) []Event {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	if vssd < 0 || vssd >= len(r.rings) {
-		r.mu.RUnlock()
+	r.state.mu.RLock()
+	if vssd < 0 || vssd >= len(r.state.rings) {
+		r.state.mu.RUnlock()
 		return nil
 	}
-	rg := r.rings[vssd]
-	r.mu.RUnlock()
+	rg := r.state.rings[vssd]
+	r.state.mu.RUnlock()
 	rg.mu.Lock()
 	defer rg.mu.Unlock()
 	if rg.full {

@@ -124,6 +124,29 @@ type PPO struct {
 	cfg Config
 	opt *nn.Adam
 	rng *sim.RNG
+
+	// Reusable per-head scratch (softmax probabilities, logit gradients,
+	// greedy actions), lazily sized from the network's head widths so the
+	// per-window inference and the training inner loop allocate nothing
+	// in steady state. Scratch is consumed before the next call, mirroring
+	// the Forward cache contract in internal/nn.
+	probs   [][]float64
+	dLogits [][]float64
+	greedy  []int
+}
+
+// scratchFor sizes the per-head scratch to match the forward logits.
+func (p *PPO) scratchFor(logits [][]float64) {
+	if len(p.probs) == len(logits) {
+		return
+	}
+	p.probs = make([][]float64, len(logits))
+	p.dLogits = make([][]float64, len(logits))
+	for k, ls := range logits {
+		p.probs[k] = make([]float64, len(ls))
+		p.dLogits[k] = make([]float64, len(ls))
+	}
+	p.greedy = make([]int, len(logits))
 }
 
 // New builds a PPO learner around the network.
@@ -135,13 +158,15 @@ func New(net *nn.ActorCritic, cfg Config, rng *sim.RNG) *PPO {
 func (p *PPO) Config() Config { return p.cfg }
 
 // Act samples one action per head and returns the joint log-probability
-// and the value estimate.
+// and the value estimate. The returned actions slice is freshly allocated
+// (transitions retain it across training).
 func (p *PPO) Act(state []float64) (actions []int, logProb, value float64) {
 	logits, v, _ := p.Net.Forward(state)
+	p.scratchFor(logits)
 	actions = make([]int, len(logits))
 	logProb = 0
 	for k, ls := range logits {
-		probs := make([]float64, len(ls))
+		probs := p.probs[k]
 		nn.Softmax(ls, probs)
 		a := nn.SampleCategorical(p.rng, probs)
 		actions[k] = a
@@ -150,10 +175,13 @@ func (p *PPO) Act(state []float64) (actions []int, logProb, value float64) {
 	return actions, logProb, v
 }
 
-// ActGreedy returns the argmax action per head (deployment mode).
+// ActGreedy returns the argmax action per head (deployment mode). The
+// returned slice is reused by the next ActGreedy call on this learner so
+// the per-window inference is allocation-free; copy it to retain it.
 func (p *PPO) ActGreedy(state []float64) []int {
 	logits, _, _ := p.Net.Forward(state)
-	actions := make([]int, len(logits))
+	p.scratchFor(logits)
+	actions := p.greedy
 	for k, ls := range logits {
 		actions[k] = nn.Argmax(ls)
 	}
@@ -162,14 +190,16 @@ func (p *PPO) ActGreedy(state []float64) []int {
 
 // ActGreedyEval returns the argmax action per head together with its joint
 // log-probability under the stochastic policy and the value estimate, so
-// greedy deployments can still record trainable transitions.
+// greedy deployments can still record trainable transitions. The returned
+// actions slice is freshly allocated.
 func (p *PPO) ActGreedyEval(state []float64) (actions []int, logProb, value float64) {
 	logits, v, _ := p.Net.Forward(state)
+	p.scratchFor(logits)
 	actions = make([]int, len(logits))
 	for k, ls := range logits {
 		a := nn.Argmax(ls)
 		actions[k] = a
-		probs := make([]float64, len(ls))
+		probs := p.probs[k]
 		nn.Softmax(ls, probs)
 		logProb += math.Log(math.Max(probs[a], 1e-12))
 	}
@@ -240,15 +270,14 @@ func (p *PPO) Train(buf *Buffer, lastValue float64) TrainStats {
 			for _, oi := range order[start:end] {
 				t := &steps[oi]
 				logits, v, cache := p.Net.Forward(t.State)
+				p.scratchFor(logits)
 
 				// New joint log-prob and per-head distributions.
 				newLP := 0.0
-				probs := make([][]float64, len(logits))
+				probs := p.probs
 				for k, ls := range logits {
-					pr := make([]float64, len(ls))
-					nn.Softmax(ls, pr)
-					probs[k] = pr
-					newLP += math.Log(math.Max(pr[t.Actions[k]], 1e-12))
+					nn.Softmax(ls, probs[k])
+					newLP += math.Log(math.Max(probs[k][t.Actions[k]], 1e-12))
 				}
 				klSum += t.LogProb - newLP
 				ratio := math.Exp(newLP - t.LogProb)
@@ -269,9 +298,9 @@ func (p *PPO) Train(buf *Buffer, lastValue float64) TrainStats {
 				visited++
 				polLoss += -math.Min(unclipped, clippedSurr)
 
-				dLogits := make([][]float64, len(logits))
+				dLogits := p.dLogits
 				for k, pr := range probs {
-					dl := make([]float64, len(pr))
+					dl := dLogits[k]
 					h := nn.Entropy(pr)
 					entSum += h
 					for j := range pr {
@@ -285,7 +314,6 @@ func (p *PPO) Train(buf *Buffer, lastValue float64) TrainStats {
 						// dH/dl_j = -p_j (log p_j + H).
 						dl[j] += p.cfg.EntropyCoef * pr[j] * (math.Log(math.Max(pr[j], 1e-12)) + h)
 					}
-					dLogits[k] = dl
 				}
 				vErr := v - ret[oi]
 				valLoss += 0.5 * vErr * vErr

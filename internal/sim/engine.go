@@ -1,11 +1,11 @@
 // Package sim provides a deterministic discrete-event simulation engine:
-// a virtual clock measured in nanoseconds, a binary-heap event queue, and
-// seedable random-number streams. Every FleetIO experiment runs on top of
-// this engine so results are exactly reproducible for a given seed.
+// a virtual clock measured in nanoseconds, an allocation-free 4-ary
+// min-heap event queue, and seedable random-number streams. Every FleetIO
+// experiment runs on top of this engine so results are exactly
+// reproducible for a given seed.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -29,32 +29,25 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// before is the heap order: earliest timestamp first, FIFO within an
+// instant.
+func (e event) before(o event) bool {
+	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all model code runs inside event callbacks on one
 // goroutine.
+//
+// The pending-event queue is an inlined 4-ary min-heap over a typed slice:
+// no container/heap interface boxing, so steady-state Schedule/Step reuses
+// the slice's capacity and performs zero allocations. The wider fan-out
+// also halves the sift-down depth versus a binary heap, which is where a
+// pop-heavy discrete-event loop spends its comparisons.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []event // 4-ary min-heap ordered by event.before
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -83,7 +76,53 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events = append(e.events, event{at: t, seq: e.seq, fn: fn})
+	e.siftUp(len(e.events) - 1)
+}
+
+// siftUp restores the heap property after appending at index i.
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !ev.before(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+// siftDown restores the heap property after replacing the root.
+func (e *Engine) siftDown() {
+	h := e.events
+	n := len(h)
+	ev := h[0]
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if h[j].before(h[m]) {
+				m = j
+			}
+		}
+		if !h[m].before(ev) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ev
 }
 
 // Step executes the next pending event, advancing the clock to its
@@ -92,7 +131,14 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events[0]
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	e.events[n] = event{} // release the closure; the slot's capacity is reused
+	e.events = e.events[:n]
+	if n > 1 {
+		e.siftDown()
+	}
 	e.now = ev.at
 	ev.fn()
 	return true

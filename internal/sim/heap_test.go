@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// refEvent mirrors event for the container/heap reference implementation
+// the inlined 4-ary heap is checked against.
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// refEngine is a minimal engine built on container/heap with the seed's
+// original semantics: the behavioral oracle for the property test.
+type refEngine struct {
+	now    Time
+	seq    uint64
+	events refHeap
+}
+
+func (e *refEngine) schedule(delay Time, id int) {
+	e.seq++
+	heap.Push(&e.events, refEvent{at: e.now + delay, seq: e.seq, id: id})
+}
+
+func (e *refEngine) step() (int, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	ev := heap.Pop(&e.events).(refEvent)
+	e.now = ev.at
+	return ev.id, true
+}
+
+func (e *refEngine) runUntil(t Time) []int {
+	var fired []int
+	for len(e.events) > 0 && e.events[0].at <= t {
+		id, _ := e.step()
+		fired = append(fired, id)
+	}
+	if t > e.now {
+		e.now = t
+	}
+	return fired
+}
+
+// TestEngineMatchesReferenceHeap drives the engine and the container/heap
+// oracle with the same random interleaving of Schedule, Step, and RunUntil
+// (with deliberate timestamp collisions to exercise the FIFO tie-break)
+// and requires identical fire order, clocks, and queue depths throughout.
+func TestEngineMatchesReferenceHeap(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 42} {
+		rng := NewRNG(seed)
+		eng := NewEngine()
+		ref := &refEngine{}
+		var got []int
+		nextID := 0
+
+		for op := 0; op < 5000; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4: // schedule; coarse delays force collisions
+				delay := Time(rng.Intn(8)) * 10
+				id := nextID
+				nextID++
+				eng.Schedule(delay, func() { got = append(got, id) })
+				ref.schedule(delay, id)
+			case 5, 6, 7: // step
+				before := len(got)
+				stepped := eng.Step()
+				id, refStepped := ref.step()
+				if stepped != refStepped {
+					t.Fatalf("seed %d op %d: Step fired=%v, reference %v", seed, op, stepped, refStepped)
+				}
+				if stepped {
+					if len(got) != before+1 || got[len(got)-1] != id {
+						t.Fatalf("seed %d op %d: Step fired %v, reference fired %d", seed, op, got[before:], id)
+					}
+				}
+			default: // runUntil a short horizon past now
+				horizon := eng.Now() + Time(rng.Intn(40))
+				before := len(got)
+				eng.RunUntil(horizon)
+				want := ref.runUntil(horizon)
+				fired := got[before:]
+				if len(fired) != len(want) {
+					t.Fatalf("seed %d op %d: RunUntil fired %v, want %v", seed, op, fired, want)
+				}
+				for i := range want {
+					if fired[i] != want[i] {
+						t.Fatalf("seed %d op %d: RunUntil fired %v, want %v", seed, op, fired, want)
+					}
+				}
+			}
+			if eng.Now() != ref.now {
+				t.Fatalf("seed %d op %d: clock %d, reference %d", seed, op, eng.Now(), ref.now)
+			}
+			if eng.Pending() != len(ref.events) {
+				t.Fatalf("seed %d op %d: pending %d, reference %d", seed, op, eng.Pending(), len(ref.events))
+			}
+		}
+
+		// Drain both and compare the tail order.
+		before := len(got)
+		eng.Run()
+		for {
+			id, ok := ref.step()
+			if !ok {
+				break
+			}
+			if before >= len(got) || got[before] != id {
+				t.Fatalf("seed %d: drain order diverged at %d", seed, before)
+			}
+			before++
+		}
+		if before != len(got) {
+			t.Fatalf("seed %d: engine fired %d extra events", seed, len(got)-before)
+		}
+	}
+}
+
+// TestEngineScheduleStepZeroAllocSteadyState guards the event core's
+// allocation-free steady state: once the queue slice has grown to its
+// working capacity, Schedule+Step must not allocate.
+func TestEngineScheduleStepZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the queue to working capacity, then drain.
+	for i := 0; i < 256; i++ {
+		e.Schedule(Time(i), fn)
+	}
+	e.Run()
+	// Keep a standing population so push/pop exercises real heap work.
+	for i := 0; i < 64; i++ {
+		e.Schedule(Time(1000+i), fn)
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		e.Schedule(100, fn)
+		e.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Schedule+Step allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -171,6 +171,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Persistent per-worker replicas; weights are broadcast each round.
+	// Replicas are load-bearing, not just a cache-warmth optimization:
+	// ActorCritic carries reusable forward/backward scratch, so a network
+	// must never be shared across goroutines.
 	replicas := make([]*nn.ActorCritic, workers)
 	for w := range replicas {
 		replicas[w] = net.Clone()

@@ -71,13 +71,15 @@ func NewPlatform(eng *sim.Engine, pc PlatformConfig) *Platform {
 func (p *Platform) Engine() *sim.Engine { return p.eng }
 
 // SetObserver attaches a decision-event recorder to the platform and its
-// FTL and gSB managers, and points the recorder's clock at this
-// platform's engine. Passing nil detaches tracing everywhere.
+// FTL and gSB managers. The platform keeps a view bound to its own
+// engine's clock (shared storage, per-run timestamps), so concurrent runs
+// can feed one recorder without reading each other's virtual time.
+// Passing nil detaches tracing everywhere.
 func (p *Platform) SetObserver(rec *obs.Recorder) {
+	rec = rec.Bind(p.eng.Now)
 	p.rec = rec
 	p.ftlm.SetObserver(rec)
 	p.gsbm.SetObserver(rec)
-	rec.SetClock(p.eng.Now)
 }
 
 // Observer returns the attached recorder (nil when tracing is off).

@@ -1,0 +1,68 @@
+#!/usr/bin/env sh
+# bench.sh — run the benchmark suite with -benchmem and write one JSON
+# document, BENCH_fleet.json, holding ns/op, B/op, and allocs/op for every
+# benchmark. The file is the repo's performance trajectory: check it in
+# after a perf-relevant change and diff against the previous commit's copy
+# to see exactly which hot path moved.
+#
+# Usage:
+#   scripts/bench.sh                 # full pass, writes BENCH_fleet.json
+#   BENCHTIME=100ms scripts/bench.sh # faster micro pass
+#   OUT=/tmp/b.json scripts/bench.sh # alternate output path
+#
+# Comparing two runs:
+#   git stash && scripts/bench.sh && cp BENCH_fleet.json /tmp/before.json
+#   git stash pop && scripts/bench.sh
+#   # then eyeball the two files, or join them on .name with any JSON tool.
+#
+# Two passes keep the wall time sane: the microbenchmarks (simulator core,
+# NN kernels, §4.7 overheads) iterate for $BENCHTIME, while the figure
+# regeneration benchmarks at the repo root simulate whole experiments and
+# run once each (-benchtime=1x).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_fleet.json}"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== micro benchmarks (./internal/..., -benchtime=$BENCHTIME)"
+go test -run=NONE -bench=. -benchmem -benchtime="$BENCHTIME" ./internal/... | tee -a "$tmp"
+
+echo "== overhead + substrate benchmarks (., -benchtime=$BENCHTIME)"
+go test -run=NONE -bench='^Benchmark(Inference|FineTune|GSB|GC|Admission|Simulator)' \
+    -benchmem -benchtime="$BENCHTIME" . | tee -a "$tmp"
+
+echo "== figure benchmarks (., -benchtime=1x)"
+go test -run=NONE -bench='^BenchmarkFigure' -benchmem -benchtime=1x . | tee -a "$tmp"
+
+# One Benchmark line looks like:
+#   BenchmarkInference-8   350436   3359 ns/op   0 B/op   0 allocs/op [extra metrics...]
+# Emit {name, iterations, ns_per_op, bytes_per_op, allocs_per_op} per line.
+awk -v benchtime="$BENCHTIME" '
+BEGIN {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"results\": [\n", benchtime
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)       # strip the GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        if ($i == "B/op") bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$tmp" > "$OUT"
+
+echo "bench.sh: wrote $(grep -c '"name"' "$OUT") benchmark results to $OUT"

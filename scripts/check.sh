@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
 # check.sh — the repo's `make check` equivalent: formatting, vet, a doc
-# lint on the observability API, build, full test suite, then the race
+# lint on the observability API, build, full test suite, the race
 # detector on the concurrency-heavy packages (the trainer's worker pool,
-# the lock-free gSB pool, admission batching, and the obs recorder that
-# both of them write into).
+# the lock-free gSB pool, admission batching, the obs recorder that both
+# of them write into, the event engine, and the harness's parallel run
+# fan-out), and a one-iteration benchmark smoke pass.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -45,6 +46,17 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency-heavy packages)"
-go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/... ./internal/obs/...
+go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/... ./internal/obs/... ./internal/sim/...
+
+echo "== go test -race (parallel harness)"
+# The harness fans experiment runs out over a worker pool; the full
+# package under -race is prohibitively slow, so race-check the tests that
+# actually exercise concurrent runs (including the shared-observer one).
+go test -race -run 'TestCompareParallel|TestCompareAll|TestFigure16Parallel|TestForEach' ./internal/harness/
+
+echo "== benchmark smoke (one iteration each)"
+# Catches benchmarks that no longer compile or crash; timing/allocation
+# numbers come from scripts/bench.sh, not from this pass.
+go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
 
 echo "check.sh: all green"
