@@ -46,6 +46,9 @@ type Runner struct {
 
 	windows int64
 	started bool
+	// snaps is the per-tick snapshot scratch, reused across windows. No
+	// consumer (Decide, OnWindow) retains the slice past its call.
+	snaps []vssd.WindowSnapshot
 }
 
 // Windows returns the number of decision windows elapsed.
@@ -73,7 +76,10 @@ func (r *Runner) Start() {
 func (r *Runner) step(now sim.Time) {
 	r.windows++
 	vs := r.Plat.VSSDs()
-	snaps := make([]vssd.WindowSnapshot, len(vs))
+	if cap(r.snaps) < len(vs) {
+		r.snaps = make([]vssd.WindowSnapshot, len(vs))
+	}
+	snaps := r.snaps[:len(vs)]
 	for i, v := range vs {
 		snaps[i] = v.Rotate()
 	}

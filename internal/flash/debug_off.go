@@ -1,0 +1,12 @@
+//go:build !flashdebug
+
+package flash
+
+// poolDebug enables use-after-release poisoning of recycled Ops. The
+// default build keeps the release path branch-free; `go test
+// -tags=flashdebug ./internal/flash/` turns poisoning on (see debug_on.go).
+const poolDebug = false
+
+// poisonOp is a no-op without the flashdebug tag; the constant guard lets
+// the compiler delete the call entirely.
+func poisonOp(*Op) {}

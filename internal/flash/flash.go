@@ -5,10 +5,15 @@
 // substitute for the programmable SSD board used by the paper (Table 3
 // geometry) — it reproduces the contention, queueing, and GC effects that
 // determine the paper's relative results.
+//
+// The per-op datapath is allocation-free in steady state: Ops are recycled
+// through a per-device free list (AcquireOp / automatic release after
+// Done), the command and bus queues are inlined typed min-heaps with no
+// interface boxing, and every pipeline stage is scheduled through the
+// engine's closure-free ScheduleEvent/AtEvent path.
 package flash
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/sim"
@@ -147,44 +152,110 @@ func (k OpKind) String() string {
 	}
 }
 
+// OpDone is invoked when a command completes. ctx and ctxI are the Ctx and
+// CtxI values the submitter stored on the op; using a package-level
+// function here (rather than a capturing closure) keeps submission
+// allocation-free. The *Op itself is NOT passed: by the time Done runs the
+// device has already recycled it.
+type OpDone func(ctx any, ctxI int64, at sim.Time)
+
 // Op is one flash command submitted to a channel. Scheduling fields
 // (Priority, Pass) are set by the I/O scheduler: channels serve the highest
 // Priority first and, within a priority level, the lowest stride Pass, then
-// FIFO. Done is invoked when the command completes.
+// FIFO.
+//
+// Ownership contract: acquire with Device.AcquireOp, fill in the public
+// fields, and hand the op to Submit — from that point the device owns it.
+// After Done returns the op is back on the device free list; neither the
+// submitter nor the Done handler may retain or touch it (completion
+// context travels through Ctx/CtxI instead). Resubmitting a released op
+// panics. Directly constructed (&Op{...}) ops are accepted by Submit and
+// absorbed into the pool on completion under the same contract.
 type Op struct {
 	Kind     OpKind
 	Addr     PPA
 	Tenant   int     // owning vSSD, for accounting
 	Priority int     // higher is served first
 	Pass     float64 // stride-scheduling pass value (lower first)
-	Done     func(at sim.Time)
+	Done     OpDone  // completion callback; nil for fire-and-forget
+	Ctx      any     // opaque completion context (pointer-shaped: no boxing)
+	CtxI     int64   // scalar completion context (e.g. a page index)
 
 	seq      uint64
 	enqueued sim.Time
+	dev      *Device
+	next     *Op  // device free-list link
+	released bool // on the free list; Submit panics (use-after-release)
 }
 
-// opHeap orders by (Priority desc, Pass asc, seq asc).
-type opHeap []*Op
-
-func (h opHeap) Len() int { return len(h) }
-func (h opHeap) Less(i, j int) bool {
-	if h[i].Priority != h[j].Priority {
-		return h[i].Priority > h[j].Priority
+// opLess is the scheduling order: Priority desc, Pass asc, seq asc (FIFO).
+func opLess(a, b *Op) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
 	}
-	if h[i].Pass != h[j].Pass {
-		return h[i].Pass < h[j].Pass
+	if a.Pass != b.Pass {
+		return a.Pass < b.Pass
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h opHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *opHeap) Push(x interface{}) { *h = append(*h, x.(*Op)) }
-func (h *opHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	op := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return op
+
+// opQueue is an inlined 4-ary min-heap of *Op ordered by opLess — the same
+// layout as the sim engine's event queue. No container/heap, no interface
+// boxing; push/pop reuse the slice's capacity, so steady-state queueing
+// performs zero allocations. opLess is a total order (seq breaks all
+// ties), so pop order is deterministic and identical to what the previous
+// container/heap implementation produced.
+type opQueue []*Op
+
+func (q *opQueue) push(op *Op) {
+	*q = append(*q, op)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !opLess(op, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = op
+}
+
+func (q *opQueue) pop() *Op {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil // release the slot; capacity is reused
+	h = h[:n]
+	*q = h
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if opLess(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !opLess(h[m], last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return top
 }
 
 // ChannelStats aggregates per-channel accounting used for utilization and
@@ -198,44 +269,12 @@ type ChannelStats struct {
 	BusBusy      sim.Time // total time the channel bus spent transferring
 }
 
-// busWaiter is an op waiting its turn on the channel bus together with the
-// continuation to run when its transfer completes.
-type busWaiter struct {
-	op   *Op
-	dur  sim.Time
-	then func(busEnd sim.Time)
-}
-
-type busHeap []busWaiter
-
-func (h busHeap) Len() int { return len(h) }
-func (h busHeap) Less(i, j int) bool {
-	a, b := h[i].op, h[j].op
-	if a.Priority != b.Priority {
-		return a.Priority > b.Priority
-	}
-	if a.Pass != b.Pass {
-		return a.Pass < b.Pass
-	}
-	return a.seq < b.seq
-}
-func (h busHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *busHeap) Push(x interface{}) { *h = append(*h, x.(busWaiter)) }
-func (h *busHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	w := old[n-1]
-	old[n-1] = busWaiter{}
-	*h = old[:n-1]
-	return w
-}
-
 type channel struct {
 	id       int
 	busBusy  bool
-	busQueue busHeap
+	busQueue opQueue // ops waiting for the bus, in (priority, pass, FIFO) order
 	chipFree []sim.Time
-	queue    opHeap
+	queue    opQueue
 	inflight int
 	stats    ChannelStats
 }
@@ -243,10 +282,12 @@ type channel struct {
 // Device is the simulated open-channel SSD. It is driven entirely from
 // engine callbacks and is not safe for concurrent use.
 type Device struct {
-	cfg Config
-	eng *sim.Engine
-	chs []*channel
-	seq uint64
+	cfg  Config
+	eng  *sim.Engine
+	chs  []*channel
+	seq  uint64
+	xfer sim.Time // cached page transfer time
+	free *Op      // free list of recycled ops
 }
 
 // NewDevice builds a device on the engine. It panics on an invalid config
@@ -255,7 +296,8 @@ func NewDevice(eng *sim.Engine, cfg Config) *Device {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	d := &Device{cfg: cfg, eng: eng, chs: make([]*channel, cfg.Channels)}
+	d := &Device{cfg: cfg, eng: eng, chs: make([]*channel, cfg.Channels),
+		xfer: cfg.transferTime(cfg.PageSize)}
 	for i := range d.chs {
 		d.chs[i] = &channel{id: i, chipFree: make([]sim.Time, cfg.ChipsPerChannel)}
 	}
@@ -274,37 +316,118 @@ func (d *Device) QueueLen(ch int) int { return len(d.chs[ch].queue) }
 // Inflight returns the number of dispatched, uncompleted ops on ch.
 func (d *Device) Inflight(ch int) int { return d.chs[ch].inflight }
 
-// Submit enqueues op on its channel and dispatches if capacity allows.
+// AcquireOp returns a zeroed Op from the device free list (allocating only
+// when the list is empty). The caller fills the public fields and passes
+// it to Submit; see the Op ownership contract.
+func (d *Device) AcquireOp() *Op {
+	op := d.free
+	if op == nil {
+		return &Op{dev: d}
+	}
+	d.free = op.next
+	*op = Op{dev: d}
+	return op
+}
+
+// releaseOp recycles a completed op onto the free list.
+func (d *Device) releaseOp(op *Op) {
+	if poolDebug {
+		poisonOp(op)
+	}
+	op.released = true
+	op.Done = nil
+	op.Ctx = nil
+	op.next = d.free
+	d.free = op
+}
+
+// Submit enqueues op on its channel and dispatches if capacity allows. The
+// device takes ownership of op (it is recycled after completion).
 func (d *Device) Submit(op *Op) {
+	if op.released {
+		panic("flash: Submit of a released Op (use-after-release)")
+	}
 	if op.Addr.Channel < 0 || op.Addr.Channel >= d.cfg.Channels {
 		panic(fmt.Sprintf("flash: channel %d out of range", op.Addr.Channel))
 	}
 	if op.Addr.Chip < 0 || op.Addr.Chip >= d.cfg.ChipsPerChannel {
 		panic(fmt.Sprintf("flash: chip %d out of range", op.Addr.Chip))
 	}
+	op.dev = d // absorb directly constructed ops into the pool contract
 	d.seq++
 	op.seq = d.seq
 	op.enqueued = d.eng.Now()
 	ch := d.chs[op.Addr.Channel]
-	heap.Push(&ch.queue, op)
+	ch.queue.push(op)
 	d.dispatch(ch)
 }
 
 // dispatch starts queued ops while the channel has queue-depth headroom.
 func (d *Device) dispatch(ch *channel) {
 	for ch.inflight < d.cfg.QueueDepth && len(ch.queue) > 0 {
-		op := heap.Pop(&ch.queue).(*Op)
+		op := ch.queue.pop()
 		ch.inflight++
 		d.service(ch, op)
 	}
 }
 
+// complete finishes op: accounting, recycling, then the Done callback and
+// a dispatch pass. The op is released BEFORE Done runs so the completion
+// chain (which typically submits the next I/O) reuses the hot Op.
 func (d *Device) complete(ch *channel, op *Op, at sim.Time) {
 	ch.inflight--
-	if op.Done != nil {
-		op.Done(at)
+	done, ctx, ctxI := op.Done, op.Ctx, op.CtxI
+	d.releaseOp(op)
+	if done != nil {
+		done(ctx, ctxI, at)
 	}
 	d.dispatch(ch)
+}
+
+// Pipeline stage handlers. Each is a package-level sim.EventHandler whose
+// arg carries the op in the pointer slot — no closures, no allocations.
+// The op's dev field recovers the device; the channel comes from the
+// address.
+
+// opCellReadDone: a read's cell sense finished; request the bus for the
+// data-out transfer.
+func opCellReadDone(arg sim.EventArg, _ sim.Time) {
+	op := arg.P.(*Op)
+	d := op.dev
+	d.acquireBus(d.chs[op.Addr.Channel], op)
+}
+
+// opBusDone: a bus transfer finished. Reads complete; programs start their
+// cell phase. Handling the finished op may queue more bus waiters (e.g. a
+// completed read chain dispatching the next op), so the best waiter is
+// served afterwards.
+func opBusDone(arg sim.EventArg, now sim.Time) {
+	op := arg.P.(*Op)
+	d := op.dev
+	ch := d.chs[op.Addr.Channel]
+	switch op.Kind {
+	case OpRead:
+		d.complete(ch, op, now)
+	case OpProgram:
+		chip := &ch.chipFree[op.Addr.Chip]
+		cellStart := maxTime(now, *chip)
+		cellEnd := cellStart + d.cfg.ProgramPage
+		*chip = cellEnd
+		d.eng.AtEvent(cellEnd, opCellDone, sim.EventArg{P: op})
+	default:
+		panic(fmt.Sprintf("flash: op kind %v on the bus", op.Kind))
+	}
+	if len(ch.busQueue) > 0 {
+		d.grantBus(ch, ch.busQueue.pop())
+	} else {
+		ch.busBusy = false
+	}
+}
+
+// opCellDone: a program or erase finished its cell phase; the op is done.
+func opCellDone(arg sim.EventArg, now sim.Time) {
+	op := arg.P.(*Op)
+	op.dev.complete(op.dev.chs[op.Addr.Channel], op, now)
 }
 
 // service runs op through its phases. Reads: cell sense on the chip, then a
@@ -315,7 +438,6 @@ func (d *Device) complete(ch *channel, op *Op, at sim.Time) {
 // reservation.
 func (d *Device) service(ch *channel, op *Op) {
 	now := d.eng.Now()
-	xfer := d.cfg.transferTime(d.cfg.PageSize)
 	chip := &ch.chipFree[op.Addr.Chip]
 	switch op.Kind {
 	case OpRead:
@@ -324,61 +446,36 @@ func (d *Device) service(ch *channel, op *Op) {
 		*chip = cellEnd
 		ch.stats.Reads++
 		ch.stats.BytesRead += int64(d.cfg.PageSize)
-		d.eng.At(cellEnd, func() {
-			d.acquireBus(ch, op, xfer, func(busEnd sim.Time) {
-				d.complete(ch, op, busEnd)
-			})
-		})
+		d.eng.AtEvent(cellEnd, opCellReadDone, sim.EventArg{P: op})
 	case OpProgram:
 		ch.stats.Programs++
 		ch.stats.BytesWritten += int64(d.cfg.PageSize)
-		d.acquireBus(ch, op, xfer, func(busEnd sim.Time) {
-			cellStart := maxTime(busEnd, *chip)
-			cellEnd := cellStart + d.cfg.ProgramPage
-			*chip = cellEnd
-			d.eng.At(cellEnd, func() {
-				d.complete(ch, op, cellEnd)
-			})
-		})
+		d.acquireBus(ch, op)
 	case OpErase:
 		cellStart := maxTime(now, *chip)
 		cellEnd := cellStart + d.cfg.EraseBlock
 		*chip = cellEnd
 		ch.stats.Erases++
-		d.eng.At(cellEnd, func() {
-			d.complete(ch, op, cellEnd)
-		})
+		d.eng.AtEvent(cellEnd, opCellDone, sim.EventArg{P: op})
 	default:
 		panic(fmt.Sprintf("flash: unknown op kind %d", op.Kind))
 	}
 }
 
-// acquireBus grants the channel bus to op for dur, immediately if idle or
-// after queueing in (priority, pass, FIFO) order. then runs when the
-// transfer finishes.
-func (d *Device) acquireBus(ch *channel, op *Op, dur sim.Time, then func(busEnd sim.Time)) {
+// acquireBus grants the channel bus to op for one page transfer,
+// immediately if idle or after queueing in (priority, pass, FIFO) order.
+func (d *Device) acquireBus(ch *channel, op *Op) {
 	if ch.busBusy {
-		heap.Push(&ch.busQueue, busWaiter{op: op, dur: dur, then: then})
+		ch.busQueue.push(op)
 		return
 	}
-	d.grantBus(ch, busWaiter{op: op, dur: dur, then: then})
+	d.grantBus(ch, op)
 }
 
-func (d *Device) grantBus(ch *channel, w busWaiter) {
+func (d *Device) grantBus(ch *channel, op *Op) {
 	ch.busBusy = true
-	end := d.eng.Now() + w.dur
-	ch.stats.BusBusy += w.dur
-	d.eng.At(end, func() {
-		w.then(end)
-		// w.then may have queued more waiters (e.g. a completed read chain
-		// dispatching the next op); serve the best one now.
-		if len(ch.busQueue) > 0 {
-			next := heap.Pop(&ch.busQueue).(busWaiter)
-			d.grantBus(ch, next)
-		} else {
-			ch.busBusy = false
-		}
-	})
+	ch.stats.BusBusy += d.xfer
+	d.eng.AtEvent(d.eng.Now()+d.xfer, opBusDone, sim.EventArg{P: op})
 }
 
 func maxTime(a, b sim.Time) sim.Time {

@@ -1,0 +1,56 @@
+//go:build flashdebug
+
+package flash
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestReleasePoisonsOp verifies the flashdebug poison: a stale holder
+// reading a recycled op sees out-of-range sentinels (negative channel, NaN
+// pass), not plausible leftover data. Run with:
+//
+//	go test -tags=flashdebug -race ./internal/flash/
+func TestReleasePoisonsOp(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDevice(eng, testConfig())
+	op := d.AcquireOp()
+	op.Kind = OpRead
+	op.Priority = 2
+	op.Pass = 1.5
+	op.CtxI = 7
+	d.Submit(op)
+	eng.Run()
+	if !op.released {
+		t.Fatal("completed op must be marked released")
+	}
+	if op.Addr.Channel >= 0 || op.Priority >= 0 || op.CtxI >= 0 || !math.IsNaN(op.Pass) {
+		t.Fatalf("released op not poisoned: %+v", op)
+	}
+	if op.Done != nil || op.Ctx != nil {
+		t.Fatal("released op must drop its callback and context refs")
+	}
+}
+
+// TestPoisonedAddrPanicsOnResubmitPath: even if the released flag were
+// bypassed, the poisoned address is out of range for any device, so a
+// stale submit still fails loudly.
+func TestPoisonedAddrPanicsOnResubmitPath(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDevice(eng, testConfig())
+	op := d.AcquireOp()
+	op.Kind = OpRead
+	d.Submit(op)
+	eng.Run()
+	stale := *op // copy the poisoned payload; the copy has released=true too
+	stale.released = false
+	defer func() {
+		if recover() == nil {
+			t.Fatal("poisoned address must fail range checks")
+		}
+	}()
+	d.Submit(&stale)
+}

@@ -125,6 +125,10 @@ type Manager struct {
 	// the free pool so it can finish lazy gSB reclamation.
 	onBlockErased func(blockIdx, gsbID int)
 
+	// gcFree recycles gcJob state (including the valid-page scratch slice)
+	// across collections so steady-state GC does not allocate.
+	gcFree *gcJob
+
 	// rec traces GC victim selection; nil disables.
 	rec *obs.Recorder
 
@@ -240,11 +244,34 @@ func (m *Manager) releaseBlock(idx int) {
 	b.gsb = -1
 	b.writePtr = 0
 	b.valid = 0
-	b.pageTenant = nil
-	b.pageLPN = nil
+	// Truncate (keeping capacity for the next open) rather than nil: a
+	// free block's page tables must be unreadable either way, and reuse
+	// keeps the erase/reopen cycle allocation-free.
+	b.pageTenant = b.pageTenant[:0]
+	b.pageLPN = b.pageLPN[:0]
 	p := m.poolIndex(b.id.Channel, b.id.Chip)
 	m.freePools[p] = append(m.freePools[p], idx)
 	m.freeCount[b.id.Channel]++
+}
+
+// acquireGCJob returns a recycled (or new) collection job.
+func (m *Manager) acquireGCJob() *gcJob {
+	j := m.gcFree
+	if j == nil {
+		return &gcJob{}
+	}
+	m.gcFree = j.link
+	j.link = nil
+	return j
+}
+
+// releaseGCJob puts a finished job back on the free list, keeping its
+// pages scratch capacity.
+func (m *Manager) releaseGCJob(j *gcJob) {
+	j.t = nil
+	j.b = nil
+	j.link = m.gcFree
+	m.gcFree = j
 }
 
 // LendBlocks pulls up to perChip clean blocks per chip from channel ch's

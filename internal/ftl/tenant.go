@@ -315,8 +315,15 @@ func (t *Tenant) openLane(ln *lane, forGC bool) bool {
 
 func (t *Tenant) initBlockPages(b *blockInfo) {
 	n := t.mgr.cfg.PagesPerBlock
-	b.pageTenant = make([]int32, n)
-	b.pageLPN = make([]int32, n)
+	// Reuse the capacity from the block's previous erase cycle; only a
+	// block's first-ever open allocates.
+	if cap(b.pageTenant) >= n {
+		b.pageTenant = b.pageTenant[:n]
+		b.pageLPN = b.pageLPN[:n]
+	} else {
+		b.pageTenant = make([]int32, n)
+		b.pageLPN = make([]int32, n)
+	}
 	for i := range b.pageTenant {
 		b.pageTenant[i] = invalidPPA
 	}
@@ -493,6 +500,22 @@ func (t *Tenant) pickVictim() int {
 	return best
 }
 
+// gcJob is the state of one victim collection: the valid-page worklist and
+// the migration pipeline cursor. Jobs are recycled through the Manager's
+// free list (keeping the pages scratch), and every pipeline stage is a
+// package-level handler with the job riding in the op's Ctx slot, so a
+// steady-state GC run performs no per-page allocations.
+type gcJob struct {
+	t           *Tenant
+	victim      int
+	b           *blockInfo
+	pages       []int // valid page indices at job start (reused scratch)
+	next        int   // cursor into pages
+	outstanding int   // migrations in flight
+	width       int
+	link        *gcJob // manager free-list link
+}
+
 // collect migrates the victim's valid pages (reads + re-programs through
 // the data owner's allocator, which lands harvested data in the
 // harvester's own space per §3.7) and then erases it. Migrations are
@@ -500,117 +523,148 @@ func (t *Tenant) pickVictim() int {
 // host priority when free space is critically low.
 func (t *Tenant) collect(victim int) {
 	b := &t.mgr.blocks[victim]
-	pages := make([]int, 0, b.valid)
+	j := t.mgr.acquireGCJob()
+	j.t = t
+	j.victim = victim
+	j.b = b
+	j.pages = j.pages[:0]
 	for p := 0; p < b.writePtr; p++ {
 		if b.pageTenant[p] != invalidPPA {
-			pages = append(pages, p)
+			j.pages = append(j.pages, p)
 		}
 	}
-	width := t.mgr.GCPipeline
-	if width < 1 {
-		width = 1
+	j.next = 0
+	j.outstanding = 0
+	j.width = t.mgr.GCPipeline
+	if j.width < 1 {
+		j.width = 1
 	}
-	next := 0
-	outstanding := 0
-	var launch func()
-	finish := func() {
-		outstanding--
-		if next >= len(pages) && outstanding == 0 {
-			t.eraseVictim(victim)
-			return
-		}
-		launch()
-	}
-	migrate := func(p int) {
-		id := b.id
-		t.mgr.stats.GCReads++
-		// Priority is re-evaluated per operation so a job started in the
-		// background escalates once free space turns critical.
-		t.mgr.Submit(&flash.Op{
-			Kind:     flash.OpRead,
-			Addr:     flash.PPA{Channel: id.Channel, Chip: id.Chip, Block: id.Block, Page: p},
-			Tenant:   t.id,
-			Priority: t.gcPriority(),
-			Done: func(sim.Time) {
-				// The page may have been invalidated by a host overwrite
-				// racing the migration.
-				if b.pageTenant[p] == invalidPPA {
-					finish()
-					return
-				}
-				dataTenant := t.mgr.tenants[b.pageTenant[p]]
-				lpn := int(b.pageLPN[p])
-				// Retry allocation until space exists (only a pathologically
-				// full device ever waits here) — the victim must never be
-				// erased while it still holds valid data.
-				var tryProgram func()
-				tryProgram = func() {
-					if b.pageTenant[p] == invalidPPA {
-						finish()
-						return
-					}
-					if dst, ok := dataTenant.AllocatePage(lpn, true); ok {
-						t.programMigrated(dataTenant, dst, t.gcPriority(), finish)
-						return
-					}
-					t.mgr.eng.Schedule(sim.Millisecond, tryProgram)
-				}
-				tryProgram()
-			},
-		})
-	}
-	launch = func() {
-		for outstanding < width && next < len(pages) {
-			p := pages[next]
-			next++
-			if b.pageTenant[p] == invalidPPA {
-				continue
-			}
-			outstanding++
-			migrate(p)
-		}
-	}
-	launch()
-	if outstanding == 0 {
-		t.eraseVictim(victim)
+	j.launch()
+	if j.outstanding == 0 {
+		t.eraseVictim(j)
 	}
 }
 
-func (t *Tenant) programMigrated(dataTenant *Tenant, dst flash.PPA, prio int, done func()) {
+// launch tops the migration pipeline back up to width, skipping pages a
+// host overwrite invalidated since the job started.
+func (j *gcJob) launch() {
+	for j.outstanding < j.width && j.next < len(j.pages) {
+		p := j.pages[j.next]
+		j.next++
+		if j.b.pageTenant[p] == invalidPPA {
+			continue
+		}
+		j.outstanding++
+		j.migrate(p)
+	}
+}
+
+// migrate issues the read half of one page migration. Priority is
+// re-evaluated per operation so a job started in the background escalates
+// once free space turns critical.
+func (j *gcJob) migrate(p int) {
+	t := j.t
+	id := j.b.id
+	t.mgr.stats.GCReads++
+	op := t.mgr.dev.AcquireOp()
+	op.Kind = flash.OpRead
+	op.Addr = flash.PPA{Channel: id.Channel, Chip: id.Chip, Block: id.Block, Page: p}
+	op.Tenant = t.id
+	op.Priority = t.gcPriority()
+	op.Done = gcReadDone
+	op.Ctx = j
+	op.CtxI = int64(p)
+	t.mgr.Submit(op)
+}
+
+// finish retires one migration (or skipped page) and either refills the
+// pipeline or, when the worklist has drained, erases the victim.
+func (j *gcJob) finish() {
+	j.outstanding--
+	if j.next >= len(j.pages) && j.outstanding == 0 {
+		j.t.eraseVictim(j)
+		return
+	}
+	j.launch()
+}
+
+// gcReadDone: the migration read finished; try to program the data to its
+// new home. ctx is the *gcJob, ctxI the victim page index.
+func gcReadDone(ctx any, ctxI int64, _ sim.Time) {
+	gcTryProgram(sim.EventArg{P: ctx, I: ctxI}, 0)
+}
+
+// gcTryProgram allocates a destination page and issues the program. The
+// page may have been invalidated by a host overwrite racing the migration,
+// so the mapping is re-checked on entry and on every retry. Allocation
+// retries until space exists (only a pathologically full device ever waits
+// here) — the victim must never be erased while it still holds valid data.
+func gcTryProgram(arg sim.EventArg, _ sim.Time) {
+	j := arg.P.(*gcJob)
+	p := int(arg.I)
+	b := j.b
+	if b.pageTenant[p] == invalidPPA {
+		j.finish()
+		return
+	}
+	// The victim is in BlockGC state and cannot be rewritten, so the data
+	// owner and LPN are stable across retries.
+	dataTenant := j.t.mgr.tenants[b.pageTenant[p]]
+	lpn := int(b.pageLPN[p])
+	if dst, ok := dataTenant.AllocatePage(lpn, true); ok {
+		j.programMigrated(dataTenant, dst, j.t.gcPriority())
+		return
+	}
+	j.t.mgr.eng.ScheduleEvent(sim.Millisecond, gcTryProgram, arg)
+}
+
+func (j *gcJob) programMigrated(dataTenant *Tenant, dst flash.PPA, prio int) {
+	t := j.t
 	t.mgr.stats.GCPrograms++
 	dataTenant.stats.GCPrograms++
-	t.mgr.Submit(&flash.Op{
-		Kind:     flash.OpProgram,
-		Addr:     dst,
-		Tenant:   dataTenant.id,
-		Priority: prio,
-		Done:     func(sim.Time) { done() },
-	})
+	op := t.mgr.dev.AcquireOp()
+	op.Kind = flash.OpProgram
+	op.Addr = dst
+	op.Tenant = dataTenant.id
+	op.Priority = prio
+	op.Done = gcProgramDone
+	op.Ctx = j
+	t.mgr.Submit(op)
 }
+
+func gcProgramDone(ctx any, _ int64, _ sim.Time) { ctx.(*gcJob).finish() }
 
 // eraseVictim erases the (now fully invalid) victim and returns it to the
 // free pool, clearing the HBT bit (§3.7: "blocks are marked as regular
 // after erased by GC").
-func (t *Tenant) eraseVictim(victim int) {
-	b := &t.mgr.blocks[victim]
-	id := b.id
+func (t *Tenant) eraseVictim(j *gcJob) {
+	id := j.b.id
 	t.mgr.stats.Erases++
 	t.stats.Erases++
-	t.mgr.Submit(&flash.Op{
-		Kind:     flash.OpErase,
-		Addr:     flash.PPA{Channel: id.Channel, Chip: id.Chip, Block: id.Block},
-		Tenant:   t.id,
-		Priority: PriorityGC,
-		Done: func(sim.Time) {
-			gsbID := b.gsb
-			t.mgr.releaseBlock(victim)
-			if t.mgr.onBlockErased != nil {
-				t.mgr.onBlockErased(victim, gsbID)
-			}
-			t.gcJobs--
-			t.maybeGC()
-		},
-	})
+	op := t.mgr.dev.AcquireOp()
+	op.Kind = flash.OpErase
+	op.Addr = flash.PPA{Channel: id.Channel, Chip: id.Chip, Block: id.Block}
+	op.Tenant = t.id
+	op.Priority = PriorityGC
+	op.Done = gcEraseDone
+	op.Ctx = j
+	t.mgr.Submit(op)
+}
+
+// gcEraseDone retires the whole job: the block returns to the free pool,
+// the gSB manager is notified, and GC re-arms. The job is recycled first so
+// a re-armed collection reuses it.
+func gcEraseDone(ctx any, _ int64, _ sim.Time) {
+	j := ctx.(*gcJob)
+	t, victim, gsbID := j.t, j.victim, j.b.gsb
+	m := t.mgr
+	m.releaseGCJob(j)
+	m.releaseBlock(victim)
+	if m.onBlockErased != nil {
+		m.onBlockErased(victim, gsbID)
+	}
+	t.gcJobs--
+	t.maybeGC()
 }
 
 // RecordHostProgram bumps host-write accounting (called by the vSSD layer

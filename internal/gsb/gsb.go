@@ -1,16 +1,15 @@
 // Package gsb implements FleetIO's ghost superblock (gSB) abstraction
 // (§3.6): harvestable bundles of flash blocks striped across one or more
-// channels, tracked in a pool of lock-free lists indexed by channel count.
-// The manager turns Make_Harvestable actions into gSB creation/reclamation
-// and Harvest actions into gSB handoffs, with lazy reclamation of in-use
-// gSBs finishing through the FTL's GC erase hook.
+// channels, tracked in pools indexed by channel count. The manager turns
+// Make_Harvestable actions into gSB creation/reclamation and Harvest
+// actions into gSB handoffs, with lazy reclamation of in-use gSBs
+// finishing through the FTL's GC erase hook.
 package gsb
 
 import (
 	"fmt"
 
 	"repro/internal/ftl"
-	"repro/internal/lockfree"
 	"repro/internal/obs"
 )
 
@@ -39,14 +38,14 @@ type Stats struct {
 	HarvestMisses  int64 // Harvest that found no compatible gSB
 }
 
-// Manager owns the gSB pool. Pool operations are lock-free (the paper's
-// design); the surrounding bookkeeping runs on the single simulation
-// goroutine.
+// Manager owns the gSB pool. Pool operations are mutex-guarded (see
+// gsbPool for why the paper's lock-free design was retired here); the
+// surrounding bookkeeping runs on the single simulation goroutine.
 type Manager struct {
 	ftlm *ftl.Manager
 
 	// pool[n] holds idle gSBs striping across exactly n channels.
-	pool []lockfree.List[*GSB]
+	pool []gsbPool
 
 	byID        map[int]*GSB
 	byHome      map[int][]*GSB // live gSBs per home tenant
@@ -79,7 +78,7 @@ func (m *Manager) SetObserver(rec *obs.Recorder) { m.rec = rec }
 func NewManager(ftlm *ftl.Manager, channels int, channelBW float64) *Manager {
 	m := &Manager{
 		ftlm:          ftlm,
-		pool:          make([]lockfree.List[*GSB], channels+1),
+		pool:          make([]gsbPool, channels+1),
 		byID:          make(map[int]*GSB),
 		byHome:        make(map[int][]*GSB),
 		byHarvester:   make(map[int][]*GSB),

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// renderResults prints every field of every Result with %v (shortest exact
+// float representation), so two renderings are byte-identical iff the
+// simulations produced bit-identical numbers.
+func renderResults(rs []Result) string {
+	var b strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&b, "mix=%s policy=%s avgUtil=%v p95Util=%v\n", r.Mix, r.Policy, r.AvgUtil, r.P95Util)
+		for _, tr := range r.Tenants {
+			fmt.Fprintf(&b, "  tenant=%s class=%v bw=%v mean=%v p95=%v p99=%v p999=%v vio=%v slo=%v done=%v\n",
+				tr.Workload, tr.Class, tr.BandwidthMBps, tr.MeanMs, tr.P95Ms,
+				tr.P99Ms, tr.P999Ms, tr.VioRate, tr.SLOMs, tr.Completed)
+		}
+	}
+	return b.String()
+}
+
+// TestCompareGolden pins the simulation output bit-for-bit: the same mix
+// and policies must reproduce the checked-in golden rendering at every
+// worker count. The golden file was generated before the pooled-Op /
+// closure-free datapath landed, so it is the oracle that the
+// allocation-free rewrite did not change a single simulated number.
+// Regenerate (only for an intentional model change) with:
+//
+//	go test ./internal/harness/ -run TestCompareGolden -update
+func TestCompareGolden(t *testing.T) {
+	opt := fastOptions()
+	opt.Duration = 3 * sim.Second
+	mix := Pair("YCSB", "TeraSort")
+	kinds := []PolicyKind{PolHardware, PolSoftware, PolFleetIO}
+
+	golden := filepath.Join("testdata", "compare_golden.txt")
+	var renders []string
+	for _, workers := range []int{1, 2, 4} {
+		opt.Workers = workers
+		renders = append(renders, renderResults(Compare(mix, kinds, opt)))
+	}
+	for i, r := range renders[1:] {
+		if r != renders[0] {
+			t.Fatalf("workers=%d rendering diverged from workers=1:\n%s\nvs\n%s",
+				[]int{2, 4}[i], r, renders[0])
+		}
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(renders[0]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if renders[0] != string(want) {
+		t.Fatalf("Compare output diverged from the pre-pooling golden:\ngot:\n%s\nwant:\n%s", renders[0], want)
+	}
+}

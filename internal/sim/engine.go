@@ -20,13 +20,35 @@ const (
 	Second      Time = 1_000_000_000
 )
 
+// EventArg is the fixed argument block delivered to an EventHandler. P
+// holds a pointer-shaped payload (a pointer or func value stores into the
+// interface word without boxing, so scheduling stays allocation-free) and
+// I holds one scalar. Handlers that need more context hang it off the
+// object P points to.
+type EventArg struct {
+	P any
+	I int64
+}
+
+// EventHandler is a closure-free event callback: a package-level function
+// (or pre-built func value) invoked with the EventArg it was scheduled
+// with and the current virtual time. Passing a method value or a capturing
+// closure here defeats the point — both allocate at the call site; route
+// per-event state through the arg instead.
+type EventHandler func(arg EventArg, now Time)
+
+// runClosure adapts the closure-based Schedule/At API onto the
+// handler-based core: the closure rides in the pointer slot of the arg.
+func runClosure(arg EventArg, _ Time) { arg.P.(func())() }
+
 // event is a scheduled callback. seq breaks ties between events scheduled
 // for the same instant so execution order is deterministic (FIFO within an
 // instant).
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	h   EventHandler
+	arg EventArg
 }
 
 // before is the heap order: earliest timestamp first, FIFO within an
@@ -62,21 +84,40 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Pending() int { return len(e.events) }
 
 // Schedule runs fn after delay virtual nanoseconds. A negative delay is an
-// error in the model, so it panics.
+// error in the model, so it panics. Capturing closures allocate; hot paths
+// use ScheduleEvent instead.
 func (e *Engine) Schedule(delay Time, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
 	}
-	e.At(e.now+delay, fn)
+	e.AtEvent(e.now+delay, runClosure, EventArg{P: fn})
 }
 
 // At runs fn at the absolute virtual time t, which must not be in the past.
 func (e *Engine) At(t Time, fn func()) {
+	e.AtEvent(t, runClosure, EventArg{P: fn})
+}
+
+// ScheduleEvent runs h(arg, now) after delay virtual nanoseconds without
+// allocating: the handler and its fixed-size argument are stored inline in
+// the event slot. This is the per-I/O scheduling path — the flash datapath,
+// FTL GC, and vSSD dispatch use it so steady-state simulation performs
+// zero allocations per event.
+func (e *Engine) ScheduleEvent(delay Time, h EventHandler, arg EventArg) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e.AtEvent(e.now+delay, h, arg)
+}
+
+// AtEvent runs h(arg, t) at the absolute virtual time t, which must not be
+// in the past. It is the allocation-free counterpart of At.
+func (e *Engine) AtEvent(t Time, h EventHandler, arg EventArg) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
 	e.seq++
-	e.events = append(e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events = append(e.events, event{at: t, seq: e.seq, h: h, arg: arg})
 	e.siftUp(len(e.events) - 1)
 }
 
@@ -134,13 +175,13 @@ func (e *Engine) Step() bool {
 	ev := e.events[0]
 	n := len(e.events) - 1
 	e.events[0] = e.events[n]
-	e.events[n] = event{} // release the closure; the slot's capacity is reused
+	e.events[n] = event{} // release the handler refs; the slot's capacity is reused
 	e.events = e.events[:n]
 	if n > 1 {
 		e.siftDown()
 	}
 	e.now = ev.at
-	ev.fn()
+	ev.h(ev.arg, e.now)
 	return true
 }
 

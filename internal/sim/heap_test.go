@@ -163,3 +163,34 @@ func TestEngineScheduleStepZeroAllocSteadyState(t *testing.T) {
 		t.Fatalf("steady-state Schedule+Step allocates %.2f allocs/op, want 0", avg)
 	}
 }
+
+// countHandler is a package-level EventHandler for the ScheduleEvent
+// guard; per-event state arrives through the arg, never a closure.
+func countHandler(arg EventArg, _ Time) { *arg.P.(*int64) += arg.I }
+
+// TestEngineScheduleEventZeroAlloc guards the closure-free scheduling
+// path used by the per-I/O datapath: ScheduleEvent with a package-level
+// handler and a pointer-shaped arg must never allocate, even on the very
+// first events (only queue growth may, and warm-up absorbs it).
+func TestEngineScheduleEventZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	var sum int64
+	arg := EventArg{P: &sum, I: 1}
+	for i := 0; i < 256; i++ {
+		e.ScheduleEvent(Time(i), countHandler, arg)
+	}
+	e.Run()
+	for i := 0; i < 64; i++ {
+		e.ScheduleEvent(Time(1000+i), countHandler, arg)
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		e.ScheduleEvent(100, countHandler, arg)
+		e.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state ScheduleEvent+Step allocates %.2f allocs/op, want 0", avg)
+	}
+	if sum == 0 {
+		t.Fatal("handler never ran")
+	}
+}

@@ -30,6 +30,11 @@ func (g *RNG) Split(label int64) *RNG {
 	return NewRNG(int64(z))
 }
 
+// Reseed rewinds the stream to the deterministic sequence of seed without
+// allocating. Allocation guards use it to replay an identical load so
+// slice high-water marks from warm-up are never exceeded while measuring.
+func (g *RNG) Reseed(seed int64) { g.r.Seed(seed) }
+
 // Float64 returns a uniform value in [0,1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
 

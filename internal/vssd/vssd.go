@@ -36,6 +36,12 @@ func (i Isolation) String() string {
 // Request is one host I/O: a contiguous run of logical pages, read or
 // written, against one vSSD. OnComplete (optional) fires when the last
 // page finishes, letting closed-loop workloads chain their next request.
+//
+// Requests obtained from VSSD.AcquireRequest are recycled onto the vSSD's
+// free list as soon as OnComplete returns; neither the submitter nor the
+// OnComplete callback may retain the pointer past that point. Directly
+// constructed requests (&Request{...}, e.g. through the public fleetio
+// API) are never recycled and stay safe to hold.
 type Request struct {
 	VSSD    int
 	Write   bool
@@ -48,6 +54,10 @@ type Request struct {
 	remaining     int
 	firstDispatch sim.Time
 	enqueued      bool
+	owner         *VSSD
+	pooled        bool     // from AcquireRequest: recycle on completion
+	released      bool     // on the free list; Submit panics
+	nextFree      *Request // free-list link
 }
 
 // Bytes returns the payload size of the request.
@@ -88,7 +98,12 @@ type VSSD struct {
 
 	priority int
 
+	// queue is head-indexed: queue[qhead:] holds the waiting requests.
+	// Popping advances qhead instead of re-slicing so the backing array is
+	// reused; Submit compacts before growing.
 	queue    []*Request
+	qhead    int
+	freeReqs *Request // recycled Request free list
 	inflight int
 
 	tokens     float64
@@ -150,7 +165,7 @@ func (v *VSSD) SetRateLimit(bps, burst float64) {
 }
 
 // QueueLen returns the number of requests waiting for dispatch.
-func (v *VSSD) QueueLen() int { return len(v.queue) }
+func (v *VSSD) QueueLen() int { return len(v.queue) - v.qhead }
 
 // Inflight returns dispatched-but-incomplete page ops.
 func (v *VSSD) Inflight() int { return v.inflight }
@@ -174,18 +189,53 @@ func (v *VSSD) ResetTotals() {
 	v.totalBytes = 0
 }
 
+// AcquireRequest returns a zeroed Request from the vSSD's free list
+// (allocating only when the list is empty). Pooled requests are recycled
+// automatically after OnComplete; see the Request ownership contract.
+func (v *VSSD) AcquireRequest() *Request {
+	r := v.freeReqs
+	if r == nil {
+		return &Request{pooled: true}
+	}
+	v.freeReqs = r.nextFree
+	*r = Request{pooled: true}
+	return r
+}
+
+// releaseRequest recycles a completed pooled request.
+func (v *VSSD) releaseRequest(r *Request) {
+	r.OnComplete = nil
+	r.owner = nil
+	r.released = true
+	r.nextFree = v.freeReqs
+	v.freeReqs = r
+}
+
 // Submit enqueues a request and pumps the dispatch loop.
 func (v *VSSD) Submit(r *Request) {
 	if r.Pages <= 0 {
 		panic(fmt.Sprintf("vssd: request with %d pages", r.Pages))
+	}
+	if r.released {
+		panic("vssd: Submit of a released Request (use-after-release)")
 	}
 	if r.enqueued {
 		panic("vssd: request submitted twice")
 	}
 	r.enqueued = true
 	r.VSSD = v.id
+	r.owner = v
 	r.Arrival = v.plat.eng.Now()
 	r.remaining = r.Pages
+	if v.qhead > 0 && len(v.queue) == cap(v.queue) {
+		// Compact the consumed head instead of growing the array.
+		n := copy(v.queue, v.queue[v.qhead:])
+		for i := n; i < len(v.queue); i++ {
+			v.queue[i] = nil
+		}
+		v.queue = v.queue[:n]
+		v.qhead = 0
+	}
 	v.queue = append(v.queue, r)
 	v.pump()
 }
@@ -210,8 +260,8 @@ func (v *VSSD) refillTokens() {
 func (v *VSSD) pump() {
 	v.refillTokens()
 	pageSize := v.plat.cfg.PageSize
-	for len(v.queue) > 0 && v.inflight < v.maxInflight() {
-		r := v.queue[0]
+	for v.qhead < len(v.queue) && v.inflight < v.maxInflight() {
+		r := v.queue[v.qhead]
 		if v.cfg.RateLimitBps > 0 {
 			need := float64(r.Bytes(pageSize))
 			if v.tokens < need {
@@ -220,8 +270,13 @@ func (v *VSSD) pump() {
 			}
 			v.tokens -= need
 		}
-		v.queue = v.queue[1:]
+		v.queue[v.qhead] = nil
+		v.qhead++
 		v.dispatch(r)
+	}
+	if v.qhead == len(v.queue) {
+		v.queue = v.queue[:0]
+		v.qhead = 0
 	}
 }
 
@@ -236,10 +291,14 @@ func (v *VSSD) armPump(need float64) {
 		wait = sim.Microsecond
 	}
 	v.pumpArmed = true
-	v.plat.eng.Schedule(wait, func() {
-		v.pumpArmed = false
-		v.pump()
-	})
+	v.plat.eng.ScheduleEvent(wait, pumpEvent, sim.EventArg{P: v})
+}
+
+// pumpEvent re-runs the dispatch loop after a token-bucket wait.
+func pumpEvent(arg sim.EventArg, _ sim.Time) {
+	v := arg.P.(*VSSD)
+	v.pumpArmed = false
+	v.pump()
 }
 
 func (v *VSSD) maxInflight() int {
@@ -272,25 +331,45 @@ func (v *VSSD) dispatch(r *Request) {
 	}
 }
 
+// requestPageDone is the flash.OpDone for host page ops: ctx carries the
+// *Request (the op itself is already recycled).
+func requestPageDone(ctx any, _ int64, at sim.Time) {
+	r := ctx.(*Request)
+	r.owner.pageDone(r, at)
+}
+
+// retryWrite re-attempts a write dispatch after an allocation stall.
+func retryWrite(arg sim.EventArg, _ sim.Time) {
+	r := arg.P.(*Request)
+	r.owner.dispatchWrite(r, int(arg.I))
+}
+
+// zeroFillDone completes a zero-fill read after its constant service time.
+func zeroFillDone(arg sim.EventArg, now sim.Time) {
+	r := arg.P.(*Request)
+	r.owner.pageDone(r, now)
+}
+
 func (v *VSSD) dispatchWrite(r *Request, lpn int) {
 	ppa, ok := v.tenant.AllocatePage(lpn, false)
 	if !ok {
 		// Out of space right now: let GC make progress and retry.
-		v.plat.eng.Schedule(sim.Millisecond, func() { v.dispatchWrite(r, lpn) })
+		v.plat.eng.ScheduleEvent(sim.Millisecond, retryWrite, sim.EventArg{P: r, I: int64(lpn)})
 		return
 	}
 	v.inflight++
 	v.tenant.RecordHostProgram()
 	v.stride = strideConst / float64(v.tickets())
 	v.pass += v.stride
-	v.plat.submit(&flash.Op{
-		Kind:     flash.OpProgram,
-		Addr:     ppa,
-		Tenant:   v.id,
-		Priority: v.priority,
-		Pass:     v.pass,
-		Done:     func(at sim.Time) { v.pageDone(r, at) },
-	})
+	op := v.plat.dev.AcquireOp()
+	op.Kind = flash.OpProgram
+	op.Addr = ppa
+	op.Tenant = v.id
+	op.Priority = v.priority
+	op.Pass = v.pass
+	op.Done = requestPageDone
+	op.Ctx = r
+	v.plat.submit(op)
 }
 
 func (v *VSSD) dispatchRead(r *Request, lpn int) {
@@ -299,20 +378,21 @@ func (v *VSSD) dispatchRead(r *Request, lpn int) {
 		// Reading never-written data: served from the mapping table with
 		// no flash access (a zero-fill read), modelled as a short constant.
 		v.inflight++
-		v.plat.eng.Schedule(5*sim.Microsecond, func() { v.pageDone(r, v.plat.eng.Now()) })
+		v.plat.eng.ScheduleEvent(5*sim.Microsecond, zeroFillDone, sim.EventArg{P: r})
 		return
 	}
 	v.inflight++
 	v.stride = strideConst / float64(v.tickets())
 	v.pass += v.stride
-	v.plat.submit(&flash.Op{
-		Kind:     flash.OpRead,
-		Addr:     ppa,
-		Tenant:   v.id,
-		Priority: v.priority,
-		Pass:     v.pass,
-		Done:     func(at sim.Time) { v.pageDone(r, at) },
-	})
+	op := v.plat.dev.AcquireOp()
+	op.Kind = flash.OpRead
+	op.Addr = ppa
+	op.Tenant = v.id
+	op.Priority = v.priority
+	op.Pass = v.pass
+	op.Done = requestPageDone
+	op.Ctx = r
+	v.plat.submit(op)
 }
 
 func (v *VSSD) tickets() int {
@@ -339,6 +419,9 @@ func (v *VSSD) pageDone(r *Request, at sim.Time) {
 		v.totalBytes += r.Bytes(v.plat.cfg.PageSize)
 		if r.OnComplete != nil {
 			r.OnComplete(r, at)
+		}
+		if r.pooled {
+			v.releaseRequest(r)
 		}
 	}
 	v.pump()
@@ -370,7 +453,7 @@ func (v *VSSD) Rotate() WindowSnapshot {
 		Start:         v.windowAt,
 		Duration:      now - v.windowAt,
 		Window:        v.window,
-		QueueLen:      len(v.queue),
+		QueueLen:      v.QueueLen(),
 		InflightPages: v.inflight,
 		AvailCapacity: (int64(v.tenant.LogicalPages()) - v.tenant.MappedPages()) * int64(v.plat.cfg.PageSize),
 		InGC:          v.tenant.InGC(),

@@ -240,7 +240,10 @@ func (p Profile) phaseFactor(t sim.Time) float64 {
 	return 1
 }
 
-// Generator drives a vSSD with the profile's traffic.
+// Generator drives a vSSD with the profile's traffic. Its steady state is
+// allocation-free: requests come from the vSSD's pool, the closed-loop
+// completion callback is built once at construction, and think-time /
+// arrival waits go through the engine's closure-free scheduling path.
 type Generator struct {
 	prof    Profile
 	eng     *sim.Engine
@@ -250,6 +253,9 @@ type Generator struct {
 	stopped bool
 	rec     *trace.Recorder
 	issued  int64
+	// onClosed is the shared completion callback for closed-loop requests;
+	// caching it avoids one closure allocation per request.
+	onClosed func(*vssd.Request, sim.Time)
 }
 
 // NewGenerator binds a profile to a vSSD. Call Start to begin traffic.
@@ -257,7 +263,9 @@ func NewGenerator(eng *sim.Engine, v *vssd.VSSD, prof Profile, rng *sim.RNG) *Ge
 	if err := prof.Validate(); err != nil {
 		panic(err)
 	}
-	return &Generator{prof: prof, eng: eng, v: v, rng: rng}
+	g := &Generator{prof: prof, eng: eng, v: v, rng: rng}
+	g.onClosed = func(_ *vssd.Request, _ sim.Time) { g.closedDone() }
+	return g
 }
 
 // Record attaches a trace recorder capturing every issued request.
@@ -290,32 +298,43 @@ func (g *Generator) issue(onComplete func(*vssd.Request, sim.Time)) {
 		g.rec.Add(trace.Record{At: g.eng.Now(), Write: write, LPN: lpn, Pages: int32(n)})
 	}
 	g.issued++
-	g.v.Submit(&vssd.Request{Write: write, LPN: int(lpn), Pages: n, OnComplete: onComplete})
+	r := g.v.AcquireRequest()
+	r.Write = write
+	r.LPN = int(lpn)
+	r.Pages = n
+	r.OnComplete = onComplete
+	g.v.Submit(r)
 }
 
 func (g *Generator) issueClosed() {
 	if g.stopped {
 		return
 	}
-	// Phase factor < 1 models think time between batch stages.
-	g.issue(func(_ *vssd.Request, _ sim.Time) {
-		f := g.prof.phaseFactor(g.eng.Now())
-		if f >= 0.999 {
-			g.issueClosed()
-			return
-		}
-		if f < 0.05 {
-			f = 0.05
-		}
-		// Pause proportional to (1-f): at factor 0.5 the stream idles about
-		// one service time per request.
-		delay := sim.Time(float64(2*sim.Millisecond) * (1 - f) / f)
-		if delay < sim.Microsecond {
-			delay = sim.Microsecond
-		}
-		g.eng.Schedule(delay, func() { g.issueClosed() })
-	})
+	g.issue(g.onClosed)
 }
+
+// closedDone chains the next closed-loop request, inserting think time
+// between batch stages when the phase factor is below 1.
+func (g *Generator) closedDone() {
+	f := g.prof.phaseFactor(g.eng.Now())
+	if f >= 0.999 {
+		g.issueClosed()
+		return
+	}
+	if f < 0.05 {
+		f = 0.05
+	}
+	// Pause proportional to (1-f): at factor 0.5 the stream idles about
+	// one service time per request.
+	delay := sim.Time(float64(2*sim.Millisecond) * (1 - f) / f)
+	if delay < sim.Microsecond {
+		delay = sim.Microsecond
+	}
+	g.eng.ScheduleEvent(delay, genIssueClosed, sim.EventArg{P: g})
+}
+
+// genIssueClosed resumes a closed-loop stream after its think-time pause.
+func genIssueClosed(arg sim.EventArg, _ sim.Time) { arg.P.(*Generator).issueClosed() }
 
 func (g *Generator) scheduleOpen() {
 	if g.stopped {
@@ -327,13 +346,17 @@ func (g *Generator) scheduleOpen() {
 		rate = 1
 	}
 	gap := g.rng.ExpDuration(sim.Time(1e9 / rate))
-	g.eng.Schedule(gap, func() {
-		if g.stopped {
-			return
-		}
-		g.issue(nil)
-		g.scheduleOpen()
-	})
+	g.eng.ScheduleEvent(gap, genOpenArrival, sim.EventArg{P: g})
+}
+
+// genOpenArrival fires one open-loop Poisson arrival and re-arms the gap.
+func genOpenArrival(arg sim.EventArg, _ sim.Time) {
+	g := arg.P.(*Generator)
+	if g.stopped {
+		return
+	}
+	g.issue(nil)
+	g.scheduleOpen()
 }
 
 // SynthesizeTrace produces n records of this profile without a simulator,

@@ -1,19 +1,18 @@
 #!/usr/bin/env sh
-# bench.sh — run the benchmark suite with -benchmem and write one JSON
-# document, BENCH_fleet.json, holding ns/op, B/op, and allocs/op for every
-# benchmark. The file is the repo's performance trajectory: check it in
-# after a perf-relevant change and diff against the previous commit's copy
-# to see exactly which hot path moved.
+# bench.sh — run the benchmark suite with -benchmem and append one
+# timestamped run to BENCH_fleet.json. The file is the repo's performance
+# trajectory: {"runs": [oldest, ..., newest]}, one entry per perf-relevant
+# change, each holding ns/op, B/op, and allocs/op for every benchmark.
+# Check the file in after a perf-relevant change; comparing two points of
+# the trajectory is then just comparing two entries of .runs.
 #
 # Usage:
-#   scripts/bench.sh                 # full pass, writes BENCH_fleet.json
+#   scripts/bench.sh                 # full pass, appends to BENCH_fleet.json
 #   BENCHTIME=100ms scripts/bench.sh # faster micro pass
 #   OUT=/tmp/b.json scripts/bench.sh # alternate output path
 #
-# Comparing two runs:
-#   git stash && scripts/bench.sh && cp BENCH_fleet.json /tmp/before.json
-#   git stash pop && scripts/bench.sh
-#   # then eyeball the two files, or join them on .name with any JSON tool.
+# Inspecting the trajectory (last two runs of one benchmark):
+#   jq '.runs[-2:][] | {at: .timestamp, r: [.results[] | select(.name == "BenchmarkFigure15")]}' BENCH_fleet.json
 #
 # Two passes keep the wall time sane: the microbenchmarks (simulator core,
 # NN kernels, §4.7 overheads) iterate for $BENCHTIME, while the figure
@@ -26,7 +25,8 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_fleet.json}"
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+run=$(mktemp)
+trap 'rm -f "$tmp" "$run"' EXIT
 
 echo "== micro benchmarks (./internal/..., -benchtime=$BENCHTIME)"
 go test -run=NONE -bench=. -benchmem -benchtime="$BENCHTIME" ./internal/... | tee -a "$tmp"
@@ -40,10 +40,12 @@ go test -run=NONE -bench='^BenchmarkFigure' -benchmem -benchtime=1x . | tee -a "
 
 # One Benchmark line looks like:
 #   BenchmarkInference-8   350436   3359 ns/op   0 B/op   0 allocs/op [extra metrics...]
-# Emit {name, iterations, ns_per_op, bytes_per_op, allocs_per_op} per line.
-awk -v benchtime="$BENCHTIME" '
+# Emit one run object: {timestamp, commit, benchtime, results: [...]}.
+timestamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+commit=$(git describe --always --dirty 2>/dev/null || echo unknown)
+awk -v benchtime="$BENCHTIME" -v ts="$timestamp" -v commit="$commit" '
 BEGIN {
-    printf "{\n  \"benchtime\": \"%s\",\n  \"results\": [\n", benchtime
+    printf "{\n  \"timestamp\": \"%s\",\n  \"commit\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"results\": [\n", ts, commit, benchtime
     n = 0
 }
 /^Benchmark/ {
@@ -63,6 +65,19 @@ BEGIN {
     printf "}"
 }
 END { printf "\n  ]\n}\n" }
-' "$tmp" > "$OUT"
+' "$tmp" > "$run"
 
-echo "bench.sh: wrote $(grep -c '"name"' "$OUT") benchmark results to $OUT"
+# Append the run to the trajectory. A pre-trajectory file (top-level
+# "results", no "runs") is migrated by becoming the first run.
+if [ -f "$OUT" ]; then
+    if jq -e '.runs' "$OUT" >/dev/null 2>&1; then
+        jq --slurpfile new "$run" '.runs += $new' "$OUT" > "$OUT.tmp"
+    else
+        jq --slurpfile new "$run" '{runs: ([.] + $new)}' "$OUT" > "$OUT.tmp"
+    fi
+    mv "$OUT.tmp" "$OUT"
+else
+    jq -n --slurpfile new "$run" '{runs: $new}' > "$OUT"
+fi
+
+echo "bench.sh: appended run $commit ($(grep -c '"name"' "$run") results) to $OUT ($(jq '.runs | length' "$OUT") runs total)"

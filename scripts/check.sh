@@ -2,9 +2,11 @@
 # check.sh — the repo's `make check` equivalent: formatting, vet, a doc
 # lint on the observability API, build, full test suite, the race
 # detector on the concurrency-heavy packages (the trainer's worker pool,
-# the lock-free gSB pool, admission batching, the obs recorder that both
-# of them write into, the event engine, and the harness's parallel run
-# fan-out), and a one-iteration benchmark smoke pass.
+# the gSB pool, admission batching, the obs recorder that both of them
+# write into, the event engine, the pooled flash/FTL datapath, and the
+# harness's parallel run fan-out), allocation-regression guards on the
+# per-I/O datapath, boxing/dead-import grep gates, and a one-iteration
+# benchmark smoke pass that fails on any steady-state device allocation.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -45,8 +47,36 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
+echo "== hot-path boxing gates"
+# The per-I/O datapath must stay free of interface boxing: container/heap
+# (whose Push/Pop box through interface{}) is banned from the simulator
+# core and flash layer (tests may use it as an oracle), and so is any
+# non-test interface{}/any-typed field or parameter in flash op structs —
+# pointer-shaped Ctx slots are the one sanctioned use, marked in place.
+if grep -n '"container/heap"' internal/flash/*.go internal/sim/*.go | grep -v _test.go; then
+    echo "container/heap is banned in the flash/sim hot path (typed heaps only)" >&2
+    exit 1
+fi
+if grep -n 'interface{}' internal/flash/*.go internal/sim/*.go internal/ftl/*.go internal/vssd/*.go | grep -v _test.go; then
+    echo "interface{} found in a hot-path package; use a typed or pointer-shaped any slot" >&2
+    exit 1
+fi
+
 echo "== go test -race (concurrency-heavy packages)"
-go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/... ./internal/obs/... ./internal/sim/...
+go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/... ./internal/obs/... ./internal/sim/... ./internal/flash/... ./internal/ftl/...
+
+echo "== go test -race -tags=flashdebug (op pool poison mode)"
+# flashdebug poisons every recycled Op on release so a use-after-release
+# fails loudly; running the flash suite in this mode under -race is the
+# pool-correctness gate.
+go test -race -tags=flashdebug ./internal/flash/...
+
+echo "== allocation guards (per-I/O datapath)"
+# TestDeviceDatapathZeroAlloc (flash) and the engine's AllocsPerRun guard
+# (sim) assert 0 allocs/op in steady state; a regression fails here before
+# it shows up in the figure benchmarks.
+go test -run 'TestDeviceDatapathZeroAlloc' -count=1 ./internal/flash/
+go test -run 'ZeroAlloc' -count=1 ./internal/sim/
 
 echo "== go test -race (parallel harness)"
 # The harness fans experiment runs out over a worker pool; the full
@@ -55,8 +85,22 @@ echo "== go test -race (parallel harness)"
 go test -race -run 'TestCompareParallel|TestCompareAll|TestFigure16Parallel|TestForEach' ./internal/harness/
 
 echo "== benchmark smoke (one iteration each)"
-# Catches benchmarks that no longer compile or crash; timing/allocation
-# numbers come from scripts/bench.sh, not from this pass.
+# Catches benchmarks that no longer compile or crash; timing numbers come
+# from scripts/bench.sh, not from this pass.
 go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
+
+echo "== device benchmark allocs/op == 0"
+# The steady-state device benchmarks must stay allocation-free. They warm
+# the op pool and queues before ResetTimer, so even at 100 iterations any
+# reported allocation is a genuine steady-state regression.
+devbench=$(go test -run=NONE -bench='^Benchmark(SaturatedChannel|MixedDevice)$' \
+    -benchmem -benchtime=100x ./internal/flash/ | grep '^Benchmark')
+echo "$devbench"
+if echo "$devbench" | awk '{ for (i = 3; i <= NF; i++) if ($i == "allocs/op" && $(i-1) + 0 > 0) exit 1 }'; then
+    :
+else
+    echo "steady-state device benchmark allocates; the per-I/O path must be allocation-free" >&2
+    exit 1
+fi
 
 echo "check.sh: all green"
