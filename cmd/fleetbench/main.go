@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fleetbench [-fig all|2|3|6|10|14|15|16|17|overhead] [-seconds N] [-model file] [-parallel N]
+//	fleetbench [-fig all|2|3|6|10|14|15|16|17|faults|overhead] [-seconds N] [-model file] [-parallel N] [-faults spec]
 //
 // Figures 10–13 share one set of runs and are printed together.
 // Independent experiment runs fan out over -parallel workers (default: one
@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -25,7 +26,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fleetbench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: all, 2, 3, 6, 10, 14, 15, 16, 17, overhead")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 2, 3, 6, 10, 14, 15, 16, 17, faults, overhead")
 	seconds := flag.Float64("seconds", 8, "measured virtual seconds per run")
 	warmup := flag.Float64("warmup", 4, "virtual warmup seconds per run")
 	windowMs := flag.Int("window", 250, "decision window in milliseconds")
@@ -33,7 +34,13 @@ func main() {
 	model := flag.String("model", "", "pretrained model file (from fleettrain); pretrains in-process when empty")
 	httpAddr := flag.String("http", "", "serve live run telemetry on /metrics and pprof on /debug/pprof/")
 	parallel := flag.Int("parallel", 0, "experiment runs in flight at once (0 = one per CPU, 1 = sequential)")
+	faults := flag.String("faults", "", "NAND fault injection: off, light, heavy, or k=v list (pfail=,efail=,rretry=,tmo=,maxretries=,rstep=,stall=,seed=)")
 	flag.Parse()
+
+	faultCfg, err := fault.ParseSpec(*faults)
+	if err != nil {
+		log.Fatalf("parsing -faults: %v", err)
+	}
 
 	if *model != "" {
 		net, err := nn.LoadFile(*model)
@@ -50,6 +57,10 @@ func main() {
 	opt.Warmup = sim.Time(*warmup * 1e9)
 	opt.Window = sim.Time(*windowMs) * sim.Millisecond
 	opt.Workers = *parallel
+	if faultCfg.Enabled() {
+		opt.Faults = &faultCfg
+		log.Printf("injecting NAND faults: %s", *faults)
+	}
 	opt = harness.WithPretrained(opt)
 
 	if *httpAddr != "" {
@@ -104,6 +115,8 @@ func main() {
 		harness.Figure16(w, opt)
 	case "17":
 		harness.Figure17(w, opt)
+	case "faults":
+		harness.FigureFaults(w, harness.EvalPairs()[:2], opt)
 	case "overhead":
 		harness.Overheads(w)
 	default:

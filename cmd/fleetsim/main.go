@@ -23,6 +23,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -38,7 +39,13 @@ func main() {
 	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof/ on this address (e.g. :8080)")
 	tracePath := flag.String("trace", "", "write decision events to this JSONL file")
 	parallel := flag.Int("parallel", 0, "experiment runs in flight at once (0 = one per CPU, 1 = sequential)")
+	faults := flag.String("faults", "", "NAND fault injection: off, light, heavy, or k=v list (pfail=,efail=,rretry=,tmo=,maxretries=,rstep=,stall=,seed=)")
 	flag.Parse()
+
+	faultCfg, err := fault.ParseSpec(*faults)
+	if err != nil {
+		log.Fatalf("parsing -faults: %v", err)
+	}
 
 	kinds := map[string]harness.PolicyKind{
 		"hardware":  harness.PolHardware,
@@ -58,6 +65,11 @@ func main() {
 	opt.Seed = *seed
 	opt.Duration = sim.Time(*seconds * 1e9)
 	opt.Workers = *parallel
+	if faultCfg.Enabled() {
+		opt.Faults = &faultCfg
+		opt.ErrorRateState = kind == harness.PolFleetIO
+		log.Printf("injecting NAND faults: %s", *faults)
+	}
 	if kind == harness.PolFleetIO {
 		opt = harness.WithPretrained(opt)
 	}
@@ -77,7 +89,13 @@ func main() {
 	log.Printf("calibrating SLOs (hardware-isolated run)...")
 	slos := harness.Calibrate(mix, opt)
 	log.Printf("running %s on %s...", kind, *mixFlag)
-	res := harness.RunOne(mix, kind, slos, opt)
+	var res harness.Result
+	var fst harness.FaultRunStats
+	if opt.Faults != nil {
+		res, fst = harness.RunOneWithFaults(mix, kind, slos, opt)
+	} else {
+		res = harness.RunOne(mix, kind, slos, opt)
+	}
 
 	fmt.Printf("policy: %s   SSD utilization: %.1f%% (p95 %.1f%%)\n", res.Policy, res.AvgUtil*100, res.P95Util*100)
 	fmt.Printf("%-16s %-22s %12s %10s %10s %10s %10s\n",
@@ -85,6 +103,11 @@ func main() {
 	for _, t := range res.Tenants {
 		fmt.Printf("%-16s %-22s %12.1f %10.2f %10.2f %10.2f %9.2f%%\n",
 			t.Workload, t.Class.String(), t.BandwidthMBps, t.MeanMs, t.P95Ms, t.P99Ms, t.VioRate*100)
+	}
+	if opt.Faults != nil {
+		fmt.Printf("faults: pfail=%d efail=%d readRetryOps=%d timeouts=%d | retired=%d remapped=%d hostRetries=%d gcRetries=%d gcSkips=%d (balanced=%v)\n",
+			fst.Device.ProgramFails, fst.Device.EraseFails, fst.Device.ReadRetryOps, fst.Device.ChipTimeouts,
+			fst.Retired, fst.Remapped, fst.WriteRetries, fst.GCRetryPrograms, fst.GCRetrySkips, fst.Balanced())
 	}
 
 	if *tracePath != "" {

@@ -136,6 +136,82 @@ func TestLeastHarvestedPriorityUnderContention(t *testing.T) {
 	}
 }
 
+// TestStatsMutuallyExclusive pins the counter contract: every Submit lands
+// in exactly one of Immediate (non-harvest pass-through), Filtered (policy
+// denial), or — after the flush — Admitted. In particular the
+// immediate-execution path must not also count as admitted, and a filtered
+// action must never surface in either of the other two.
+func TestStatsMutuallyExclusive(t *testing.T) {
+	_, p, _ := testSetup()
+	c := NewController(p, DenyList{NoHarvest: map[int]bool{1: true}})
+	bw := p.FlashConfig().ChannelBandwidth()
+
+	c.Submit(vssd.Action{VSSD: 0, Kind: vssd.ActSetPriority, Level: ftl.PriorityHigh}) // immediate
+	c.Submit(vssd.Action{VSSD: 0, Kind: vssd.ActMakeHarvestable, BW: bw})              // batched
+	c.Submit(vssd.Action{VSSD: 1, Kind: vssd.ActHarvest, BW: bw})                      // filtered
+	c.Submit(vssd.Action{VSSD: 0, Kind: vssd.ActSetPriority, Level: ftl.PriorityLow})  // immediate
+
+	st := c.Stats()
+	if st.Immediate != 2 || st.Filtered != 1 || st.Admitted != 0 {
+		t.Fatalf("pre-flush stats %+v, want Immediate=2 Filtered=1 Admitted=0", st)
+	}
+	c.Flush()
+	st = c.Stats()
+	if st.Immediate != 2 || st.Filtered != 1 || st.Admitted != 1 {
+		t.Fatalf("post-flush stats %+v, want Immediate=2 Filtered=1 Admitted=1", st)
+	}
+	if total := st.Immediate + st.Filtered + st.Admitted; total != 4 {
+		t.Fatalf("counters sum to %d, want one verdict per Submit (4)", total)
+	}
+	// Flushing again must not re-admit anything.
+	c.Flush()
+	if got := c.Stats().Admitted; got != 1 {
+		t.Fatalf("re-flush re-admitted: %d", got)
+	}
+}
+
+// TestHarvestFCFSTieBreak pins the deterministic tie-break: when contending
+// harvesters hold equal harvested resources, the batch executes them in
+// arrival order (sort.SliceStable over an explicit arrival stamp), so
+// whoever submitted first wins the last idle gSB — in either submission
+// order, on every run.
+func TestHarvestFCFSTieBreak(t *testing.T) {
+	build := func(firstID, secondID int) int {
+		eng := sim.NewEngine()
+		pc := vssd.DefaultPlatformConfig()
+		pc.Flash.Channels = 6
+		pc.Flash.ChipsPerChannel = 2
+		pc.Flash.BlocksPerChip = 32
+		pc.Flash.PagesPerBlock = 8
+		p := vssd.NewPlatform(eng, pc)
+		p.AddVSSD(vssd.Config{Name: "lender", Channels: []int{0, 1, 2}})
+		p.AddVSSD(vssd.Config{Name: "h1", Channels: []int{3, 4}})
+		p.AddVSSD(vssd.Config{Name: "h2", Channels: []int{5}})
+		c := NewController(p, nil)
+		bw := p.FlashConfig().ChannelBandwidth()
+		c.Submit(vssd.Action{VSSD: 0, Kind: vssd.ActMakeHarvestable, BW: bw})
+		c.Flush()
+		// Both harvesters hold zero harvested channels: a pure FCFS tie.
+		c.Submit(vssd.Action{VSSD: firstID, Kind: vssd.ActHarvest, BW: bw})
+		c.Submit(vssd.Action{VSSD: secondID, Kind: vssd.ActHarvest, BW: bw})
+		c.Flush()
+		for _, id := range []int{firstID, secondID} {
+			if p.GSB().HarvestedChannels(id) == 1 {
+				return id
+			}
+		}
+		return -1
+	}
+	for run := 0; run < 3; run++ {
+		if got := build(1, 2); got != 1 {
+			t.Fatalf("run %d: winner = %d, want first submitter 1", run, got)
+		}
+		if got := build(2, 1); got != 2 {
+			t.Fatalf("run %d: winner = %d, want first submitter 2", run, got)
+		}
+	}
+}
+
 func TestPeriodicFlush(t *testing.T) {
 	eng, p, _ := testSetup()
 	c := NewController(p, nil)

@@ -65,6 +65,12 @@ type FleetIOConfig struct {
 	// held-out eval episodes use it to score a frozen policy snapshot.
 	GreedyCollect bool
 
+	// ErrorRateState appends the per-tenant NAND error-rate feature
+	// (write retries / requests per window) to every window state, used
+	// by fault-injection scenarios. It widens the network input, so it is
+	// incompatible with a Pretrained network built at the base width.
+	ErrorRateState bool
+
 	// TypeModel classifies workloads for per-type α (§3.4); nil keeps the
 	// unified α.
 	TypeModel *cluster.Model
@@ -135,7 +141,11 @@ func NewFleetIO(plat *vssd.Platform, cfg FleetIOConfig) *FleetIO {
 		cfg.RL = rcfg
 	}
 	f := &FleetIO{cfg: cfg, plat: plat, rng: sim.NewRNG(cfg.Seed)}
-	dim := cfg.HistoryWindows * StatesPerWindow
+	width := StatesPerWindow
+	if cfg.ErrorRateState {
+		width = StatesPerWindowExt
+	}
+	dim := cfg.HistoryWindows * width
 	heads := []int{len(HarvestLevels), len(HarvestLevels), len(PriorityLevels)}
 	newNet := func(r *sim.RNG) *nn.ActorCritic {
 		if cfg.Pretrained != nil {
@@ -156,7 +166,7 @@ func NewFleetIO(plat *vssd.Platform, cfg FleetIOConfig) *FleetIO {
 	for i, v := range plat.VSSDs() {
 		a := &agent{
 			id:     i,
-			hist:   NewHistory(cfg.HistoryWindows),
+			hist:   NewHistoryWidth(cfg.HistoryWindows, width),
 			alpha:  UnifiedAlpha,
 			scales: DefaultScales(len(v.Tenant().Channels()), chanBW, int64(v.Tenant().LogicalPages())*int64(plat.FlashConfig().PageSize)),
 		}
@@ -267,7 +277,12 @@ func (f *FleetIO) Decide(now sim.Time, snaps []vssd.WindowSnapshot) []vssd.Actio
 			})
 		}
 		// New stacked state.
-		ws := EncodeWindow(snaps[i], a.scales, totIOPS-iops[i], totVio-vio[i])
+		var ws []float64
+		if f.cfg.ErrorRateState {
+			ws = EncodeWindowExt(snaps[i], a.scales, totIOPS-iops[i], totVio-vio[i])
+		} else {
+			ws = EncodeWindow(snaps[i], a.scales, totIOPS-iops[i], totVio-vio[i])
+		}
 		a.hist.Push(ws)
 		state := a.hist.Vector()
 

@@ -9,6 +9,11 @@ import (
 // Table 1 states plus the two shared multi-agent states (§3.3.1).
 const StatesPerWindow = 11
 
+// StatesPerWindowExt is the window width with the optional per-tenant
+// error-rate feature appended (FleetIOConfig.ErrorRateState): the
+// fraction of the window's page writes that needed a NAND-failure retry.
+const StatesPerWindowExt = StatesPerWindow + 1
+
 // DefaultHistoryWindows is how many windows are stacked into one model
 // input (§3.3.1: three prior time windows).
 const DefaultHistoryWindows = 3
@@ -53,6 +58,24 @@ func EncodeWindow(s vssd.WindowSnapshot, sc StateScales, sharedIOPS, sharedVio f
 	return out
 }
 
+// EncodeWindowExt is EncodeWindow plus the per-tenant error-rate feature:
+// write retries caused by injected NAND program failures, normalized by
+// the window's completed requests. Always 0 without a fault injector, so
+// the feature is inert (but still widens the net input — a policy using
+// it cannot load a network pretrained at the base width).
+func EncodeWindowExt(s vssd.WindowSnapshot, sc StateScales, sharedIOPS, sharedVio float64) []float64 {
+	out := EncodeWindow(s, sc, sharedIOPS, sharedVio)
+	out = append(out, clamp(float64(s.Window.Retries)/float64(max64(s.Window.Requests(), 1)), 0, 1))
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 func nz(v float64) float64 {
 	if v <= 0 {
 		return 1
@@ -73,15 +96,27 @@ func clamp(v, lo, hi float64) float64 {
 // History stacks the most recent window states into one model input.
 type History struct {
 	windows int
+	width   int
 	buf     [][]float64
 }
 
-// NewHistory holds the last `windows` window-states.
+// NewHistory holds the last `windows` window-states of the default
+// (base) width.
 func NewHistory(windows int) *History {
+	return NewHistoryWidth(windows, StatesPerWindow)
+}
+
+// NewHistoryWidth holds the last `windows` window-states of `width`
+// features each (StatesPerWindowExt for policies with the error-rate
+// feature enabled).
+func NewHistoryWidth(windows, width int) *History {
 	if windows <= 0 {
 		windows = DefaultHistoryWindows
 	}
-	return &History{windows: windows}
+	if width <= 0 {
+		width = StatesPerWindow
+	}
+	return &History{windows: windows, width: width}
 }
 
 // Push appends a window state, evicting the oldest beyond capacity.
@@ -92,19 +127,19 @@ func (h *History) Push(state []float64) {
 	}
 }
 
-// Vector returns the stacked input (windows × StatesPerWindow), zero-padded
-// at the front until enough history accumulates — oldest first.
+// Vector returns the stacked input (windows × width), zero-padded at the
+// front until enough history accumulates — oldest first.
 func (h *History) Vector() []float64 {
-	out := make([]float64, h.windows*StatesPerWindow)
+	out := make([]float64, h.windows*h.width)
 	pad := h.windows - len(h.buf)
 	for i, w := range h.buf {
-		copy(out[(pad+i)*StatesPerWindow:], w)
+		copy(out[(pad+i)*h.width:], w)
 	}
 	return out
 }
 
 // Dim returns the stacked input width.
-func (h *History) Dim() int { return h.windows * StatesPerWindow }
+func (h *History) Dim() int { return h.windows * h.width }
 
 // DefaultScales derives normalization constants from a vSSD's allocation.
 func DefaultScales(ownedChannels int, channelBW float64, logicalBytes int64) StateScales {

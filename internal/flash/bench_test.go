@@ -19,7 +19,7 @@ type benchDriver struct {
 
 // benchIssue submits the next op of the closed loop; ctx is the
 // *benchDriver.
-func benchIssue(ctx any, _ int64, _ sim.Time) {
+func benchIssue(ctx any, _ int64, _ sim.Time, _ OpStatus) {
 	dr := ctx.(*benchDriver)
 	if dr.issued >= dr.limit {
 		return
@@ -47,7 +47,7 @@ func benchIssue(ctx any, _ int64, _ sim.Time) {
 func (dr *benchDriver) warm(eng *sim.Engine, prime, n int) {
 	dr.issued, dr.limit = 0, n
 	for i := 0; i < prime && i < n; i++ {
-		benchIssue(dr, 0, 0)
+		benchIssue(dr, 0, 0, StatusOK)
 	}
 	eng.Run()
 	dr.issued = 0
@@ -66,7 +66,7 @@ func BenchmarkSaturatedChannel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < cfg.QueueDepth && i < b.N; i++ {
-		benchIssue(dr, 0, 0)
+		benchIssue(dr, 0, 0, StatusOK)
 	}
 	eng.Run()
 }
@@ -86,7 +86,7 @@ func BenchmarkMixedDevice(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < 64 && i < b.N; i++ {
-		benchIssue(dr, 0, 0)
+		benchIssue(dr, 0, 0, StatusOK)
 	}
 	eng.Run()
 }

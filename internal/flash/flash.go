@@ -16,6 +16,7 @@ package flash
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -152,12 +153,44 @@ func (k OpKind) String() string {
 	}
 }
 
+// OpStatus is the completion result of a flash command. With no fault
+// injector installed every op completes StatusOK; with one installed,
+// programs and erases may report the NAND failure statuses the FTL
+// answers with remapping and bad-block retirement.
+type OpStatus uint8
+
+// Completion statuses.
+const (
+	// StatusOK: the command succeeded.
+	StatusOK OpStatus = iota
+	// StatusProgramFail: the page program failed; the data did not land
+	// and the block should be retired after its valid pages move away.
+	StatusProgramFail
+	// StatusEraseFail: the block erase failed; the block is worn out and
+	// must be retired instead of reused.
+	StatusEraseFail
+)
+
+func (s OpStatus) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusProgramFail:
+		return "program-fail"
+	case StatusEraseFail:
+		return "erase-fail"
+	default:
+		return fmt.Sprintf("OpStatus(%d)", uint8(s))
+	}
+}
+
 // OpDone is invoked when a command completes. ctx and ctxI are the Ctx and
-// CtxI values the submitter stored on the op; using a package-level
-// function here (rather than a capturing closure) keeps submission
-// allocation-free. The *Op itself is NOT passed: by the time Done runs the
-// device has already recycled it.
-type OpDone func(ctx any, ctxI int64, at sim.Time)
+// CtxI values the submitter stored on the op, and status is the command's
+// completion result (always StatusOK unless a fault injector is
+// installed); using a package-level function here (rather than a capturing
+// closure) keeps submission allocation-free. The *Op itself is NOT passed:
+// by the time Done runs the device has already recycled it.
+type OpDone func(ctx any, ctxI int64, at sim.Time, status OpStatus)
 
 // Op is one flash command submitted to a channel. Scheduling fields
 // (Priority, Pass) are set by the I/O scheduler: channels serve the highest
@@ -184,8 +217,10 @@ type Op struct {
 	seq      uint64
 	enqueued sim.Time
 	dev      *Device
-	next     *Op  // device free-list link
-	released bool // on the free list; Submit panics (use-after-release)
+	status   OpStatus // injected completion result, decided at service time
+	stall    sim.Time // injected extra cell-phase latency (program phase)
+	next     *Op      // device free-list link
+	released bool     // on the free list; Submit panics (use-after-release)
 }
 
 // opLess is the scheduling order: Priority desc, Pass asc, seq asc (FIFO).
@@ -279,6 +314,16 @@ type channel struct {
 	stats    ChannelStats
 }
 
+// FaultStats counts the faults a device's injector has produced since
+// construction. All zeros when no injector is installed.
+type FaultStats struct {
+	ProgramFails int64 // injected page-program failures
+	EraseFails   int64 // injected block-erase failures
+	ReadRetryOps int64 // reads that needed at least one retry round
+	RetryRounds  int64 // total read-retry rounds injected
+	ChipTimeouts int64 // transient chip stalls injected
+}
+
 // Device is the simulated open-channel SSD. It is driven entirely from
 // engine callbacks and is not safe for concurrent use.
 type Device struct {
@@ -288,6 +333,13 @@ type Device struct {
 	seq  uint64
 	xfer sim.Time // cached page transfer time
 	free *Op      // free list of recycled ops
+
+	// inj, when non-nil, injects NAND faults. Every injection draw sits
+	// behind one inj != nil check so the disabled path costs a single
+	// predictable branch and draws nothing from any RNG stream.
+	inj     *fault.Injector
+	onFault func(kind OpKind, addr PPA, status OpStatus)
+	fstats  FaultStats
 }
 
 // NewDevice builds a device on the engine. It panics on an invalid config
@@ -306,6 +358,21 @@ func NewDevice(eng *sim.Engine, cfg Config) *Device {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// SetFaultInjector installs (or, with nil, removes) a NAND fault
+// injector. Install at setup time, before traffic: the injector's RNG
+// stream advances with every serviced op, so swapping it mid-run changes
+// subsequent fault decisions.
+func (d *Device) SetFaultInjector(inj *fault.Injector) { d.inj = inj }
+
+// OnFault installs a hook invoked when an op completes with a failure
+// status, before the op's Done callback runs — the FTL uses it to retire
+// the failed block and fix the mapping so the submitter's retry (from
+// Done) allocates somewhere healthy.
+func (d *Device) OnFault(fn func(kind OpKind, addr PPA, status OpStatus)) { d.onFault = fn }
+
+// FaultStats returns a copy of the injected-fault counters.
+func (d *Device) FaultStats() FaultStats { return d.fstats }
 
 // Stats returns a copy of the accounting for channel ch.
 func (d *Device) Stats(ch int) ChannelStats { return d.chs[ch].stats }
@@ -373,13 +440,25 @@ func (d *Device) dispatch(ch *channel) {
 
 // complete finishes op: accounting, recycling, then the Done callback and
 // a dispatch pass. The op is released BEFORE Done runs so the completion
-// chain (which typically submits the next I/O) reuses the hot Op.
+// chain (which typically submits the next I/O) reuses the hot Op. For a
+// failed op the OnFault hook runs before Done, so FTL-level bookkeeping
+// (bad-block retirement, mapping repair) is finished by the time the
+// submitter reacts to the status.
 func (d *Device) complete(ch *channel, op *Op, at sim.Time) {
 	ch.inflight--
 	done, ctx, ctxI := op.Done, op.Ctx, op.CtxI
-	d.releaseOp(op)
+	status := op.status
+	if status != StatusOK {
+		kind, addr := op.Kind, op.Addr
+		d.releaseOp(op)
+		if d.onFault != nil {
+			d.onFault(kind, addr, status)
+		}
+	} else {
+		d.releaseOp(op)
+	}
 	if done != nil {
-		done(ctx, ctxI, at)
+		done(ctx, ctxI, at, status)
 	}
 	d.dispatch(ch)
 }
@@ -411,7 +490,9 @@ func opBusDone(arg sim.EventArg, now sim.Time) {
 	case OpProgram:
 		chip := &ch.chipFree[op.Addr.Chip]
 		cellStart := maxTime(now, *chip)
-		cellEnd := cellStart + d.cfg.ProgramPage
+		// op.stall carries the injected chip-timeout stall decided at
+		// service time; it is always zero without an injector.
+		cellEnd := cellStart + d.cfg.ProgramPage + op.stall
 		*chip = cellEnd
 		d.eng.AtEvent(cellEnd, opCellDone, sim.EventArg{P: op})
 	default:
@@ -443,6 +524,9 @@ func (d *Device) service(ch *channel, op *Op) {
 	case OpRead:
 		cellStart := maxTime(now, *chip)
 		cellEnd := cellStart + d.cfg.ReadPage
+		if d.inj != nil {
+			cellEnd += d.injectRead()
+		}
 		*chip = cellEnd
 		ch.stats.Reads++
 		ch.stats.BytesRead += int64(d.cfg.PageSize)
@@ -450,16 +534,70 @@ func (d *Device) service(ch *channel, op *Op) {
 	case OpProgram:
 		ch.stats.Programs++
 		ch.stats.BytesWritten += int64(d.cfg.PageSize)
+		if d.inj != nil {
+			d.injectProgram(op)
+		}
 		d.acquireBus(ch, op)
 	case OpErase:
 		cellStart := maxTime(now, *chip)
 		cellEnd := cellStart + d.cfg.EraseBlock
+		if d.inj != nil {
+			cellEnd += d.injectErase(op)
+		}
 		*chip = cellEnd
 		ch.stats.Erases++
 		d.eng.AtEvent(cellEnd, opCellDone, sim.EventArg{P: op})
 	default:
 		panic(fmt.Sprintf("flash: unknown op kind %d", op.Kind))
 	}
+}
+
+// injectRead draws the fault decisions for a read at service time and
+// returns the extra cell-sense latency (retry rounds plus any transient
+// chip stall). Called only with an injector installed.
+func (d *Device) injectRead() sim.Time {
+	var extra sim.Time
+	if rounds := d.inj.ReadRetries(); rounds > 0 {
+		extra = sim.Time(rounds) * d.inj.RetryStep()
+		d.fstats.ReadRetryOps++
+		d.fstats.RetryRounds += int64(rounds)
+	}
+	if stall := d.inj.ChipStall(); stall > 0 {
+		extra += stall
+		d.fstats.ChipTimeouts++
+	}
+	return extra
+}
+
+// injectProgram draws the fault decisions for a program at service time,
+// recording them on the op: the failure status is delivered at
+// completion and the stall is applied to the cell phase after the bus
+// transfer. Called only with an injector installed.
+func (d *Device) injectProgram(op *Op) {
+	if d.inj.ProgramFails() {
+		op.status = StatusProgramFail
+		d.fstats.ProgramFails++
+	}
+	if stall := d.inj.ChipStall(); stall > 0 {
+		op.stall = stall
+		d.fstats.ChipTimeouts++
+	}
+}
+
+// injectErase draws the fault decisions for an erase at service time and
+// returns the extra cell latency. A failed erase still occupies the chip
+// for the full erase time (the controller only learns the status at
+// completion). Called only with an injector installed.
+func (d *Device) injectErase(op *Op) sim.Time {
+	if d.inj.EraseFails() {
+		op.status = StatusEraseFail
+		d.fstats.EraseFails++
+	}
+	if stall := d.inj.ChipStall(); stall > 0 {
+		d.fstats.ChipTimeouts++
+		return stall
+	}
+	return 0
 }
 
 // acquireBus grants the channel bus to op for one page transfer,

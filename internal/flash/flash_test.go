@@ -50,7 +50,7 @@ func TestSingleReadLatency(t *testing.T) {
 	d := NewDevice(eng, testConfig())
 	var done sim.Time
 	d.Submit(&Op{Kind: OpRead, Addr: PPA{Channel: 0, Chip: 0, Block: 0, Page: 0},
-		Done: func(_ any, _ int64, at sim.Time) { done = at }})
+		Done: func(_ any, _ int64, at sim.Time, _ OpStatus) { done = at }})
 	eng.Run()
 	want := d.Config().ReadPage + d.Config().transferTime(d.Config().PageSize)
 	if done != want {
@@ -63,7 +63,7 @@ func TestSingleProgramLatency(t *testing.T) {
 	d := NewDevice(eng, testConfig())
 	var done sim.Time
 	d.Submit(&Op{Kind: OpProgram, Addr: PPA{Channel: 0, Chip: 0},
-		Done: func(_ any, _ int64, at sim.Time) { done = at }})
+		Done: func(_ any, _ int64, at sim.Time, _ OpStatus) { done = at }})
 	eng.Run()
 	want := d.Config().transferTime(d.Config().PageSize) + d.Config().ProgramPage
 	if done != want {
@@ -77,14 +77,14 @@ func TestEraseLatencyAndChipBlocking(t *testing.T) {
 	d := NewDevice(eng, cfg)
 	var eraseDone, readDone sim.Time
 	d.Submit(&Op{Kind: OpErase, Addr: PPA{Channel: 0, Chip: 0},
-		Done: func(_ any, _ int64, at sim.Time) { eraseDone = at }})
+		Done: func(_ any, _ int64, at sim.Time, _ OpStatus) { eraseDone = at }})
 	// A read on the same chip must wait for the erase; a read on another
 	// chip must not.
 	var otherChip sim.Time
 	d.Submit(&Op{Kind: OpRead, Addr: PPA{Channel: 0, Chip: 0},
-		Done: func(_ any, _ int64, at sim.Time) { readDone = at }})
+		Done: func(_ any, _ int64, at sim.Time, _ OpStatus) { readDone = at }})
 	d.Submit(&Op{Kind: OpRead, Addr: PPA{Channel: 0, Chip: 1},
-		Done: func(_ any, _ int64, at sim.Time) { otherChip = at }})
+		Done: func(_ any, _ int64, at sim.Time, _ OpStatus) { otherChip = at }})
 	eng.Run()
 	if eraseDone != cfg.EraseBlock {
 		t.Fatalf("erase done at %d, want %d", eraseDone, cfg.EraseBlock)
@@ -105,9 +105,9 @@ func TestBusSerialization(t *testing.T) {
 	// bus transfers serialize.
 	var first, second sim.Time
 	d.Submit(&Op{Kind: OpRead, Addr: PPA{Channel: 0, Chip: 0},
-		Done: func(_ any, _ int64, at sim.Time) { first = at }})
+		Done: func(_ any, _ int64, at sim.Time, _ OpStatus) { first = at }})
 	d.Submit(&Op{Kind: OpRead, Addr: PPA{Channel: 0, Chip: 1},
-		Done: func(_ any, _ int64, at sim.Time) { second = at }})
+		Done: func(_ any, _ int64, at sim.Time, _ OpStatus) { second = at }})
 	eng.Run()
 	xfer := cfg.transferTime(cfg.PageSize)
 	if want := cfg.ReadPage + xfer; first != want {
@@ -123,8 +123,8 @@ func TestChannelIndependence(t *testing.T) {
 	cfg := testConfig()
 	d := NewDevice(eng, cfg)
 	var a, b sim.Time
-	d.Submit(&Op{Kind: OpRead, Addr: PPA{Channel: 0, Chip: 0}, Done: func(_ any, _ int64, at sim.Time) { a = at }})
-	d.Submit(&Op{Kind: OpRead, Addr: PPA{Channel: 1, Chip: 0}, Done: func(_ any, _ int64, at sim.Time) { b = at }})
+	d.Submit(&Op{Kind: OpRead, Addr: PPA{Channel: 0, Chip: 0}, Done: func(_ any, _ int64, at sim.Time, _ OpStatus) { a = at }})
+	d.Submit(&Op{Kind: OpRead, Addr: PPA{Channel: 1, Chip: 0}, Done: func(_ any, _ int64, at sim.Time, _ OpStatus) { b = at }})
 	eng.Run()
 	if a != b {
 		t.Fatalf("reads on independent channels should finish together: %d vs %d", a, b)
@@ -139,7 +139,7 @@ func TestPriorityOrdering(t *testing.T) {
 	var order []int
 	mk := func(id, prio int) *Op {
 		return &Op{Kind: OpRead, Addr: PPA{Channel: 0, Chip: 0}, Priority: prio,
-			Done: func(any, int64, sim.Time) { order = append(order, id) }}
+			Done: func(any, int64, sim.Time, OpStatus) { order = append(order, id) }}
 	}
 	// Occupy the channel first so the rest queue up.
 	d.Submit(mk(0, 0))
@@ -163,7 +163,7 @@ func TestStridePassOrdering(t *testing.T) {
 	var order []int
 	mk := func(id int, pass float64) *Op {
 		return &Op{Kind: OpRead, Addr: PPA{Channel: 0, Chip: 0}, Pass: pass,
-			Done: func(any, int64, sim.Time) { order = append(order, id) }}
+			Done: func(any, int64, sim.Time, OpStatus) { order = append(order, id) }}
 	}
 	d.Submit(mk(0, 0))
 	d.Submit(mk(1, 30))
@@ -210,7 +210,7 @@ func TestChannelThroughputCalibration(t *testing.T) {
 	for i := 0; i < pages; i++ {
 		d.Submit(&Op{Kind: OpRead,
 			Addr: PPA{Channel: 0, Chip: i % cfg.ChipsPerChannel, Block: 0, Page: i % cfg.PagesPerBlock},
-			Done: func(_ any, _ int64, at sim.Time) { completed++; last = at }})
+			Done: func(_ any, _ int64, at sim.Time, _ OpStatus) { completed++; last = at }})
 	}
 	eng.Run()
 	if completed != pages {
@@ -235,7 +235,7 @@ func TestWriteThroughputBusLimited(t *testing.T) {
 	for i := 0; i < pages; i++ {
 		d.Submit(&Op{Kind: OpProgram,
 			Addr: PPA{Channel: 0, Chip: i % cfg.ChipsPerChannel},
-			Done: func(_ any, _ int64, at sim.Time) { last = at }})
+			Done: func(_ any, _ int64, at sim.Time, _ OpStatus) { last = at }})
 	}
 	eng.Run()
 	bw := float64(pages) * float64(cfg.PageSize) / (float64(last) / 1e9)

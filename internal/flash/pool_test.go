@@ -24,7 +24,7 @@ func TestDeviceDatapathZeroAlloc(t *testing.T) {
 		dr.issued = 0
 		dr.limit = n
 		for i := 0; i < 64 && i < n; i++ {
-			benchIssue(dr, 0, 0)
+			benchIssue(dr, 0, 0, StatusOK)
 		}
 		eng.Run()
 	}
@@ -91,7 +91,7 @@ func TestDoneSeesContextNotOp(t *testing.T) {
 	op.Kind = OpRead
 	op.Ctx = pl
 	op.CtxI = 42
-	op.Done = func(ctx any, ctxI int64, _ sim.Time) {
+	op.Done = func(ctx any, ctxI int64, _ sim.Time, _ OpStatus) {
 		if ctx.(*payload) != pl || ctxI != 42 {
 			t.Errorf("ctx=%v ctxI=%d, want %v 42", ctx, ctxI, pl)
 		}

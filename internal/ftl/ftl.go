@@ -45,6 +45,10 @@ const (
 	BlockFull
 	// BlockGC: currently being collected (excluded from victim selection).
 	BlockGC
+	// BlockBad: retired after a program or erase failure; terminal. Bad
+	// blocks never return to a free pool — the device permanently loses
+	// their capacity, exactly as a real FTL grows its bad-block table.
+	BlockBad
 )
 
 const invalidPPA = int32(-1)
@@ -63,7 +67,11 @@ type blockInfo struct {
 	// a gSB or pending lazy reclamation; cleared when GC erases the block.
 	harvested bool
 	// gsb is the ghost-superblock ID the block belongs to, or -1.
-	gsb      int
+	gsb int
+	// bad marks a block pending retirement after a program/erase failure:
+	// GC collects it first (even fully valid) and retires it instead of
+	// returning it to the pool. It stays set in the terminal BlockBad state.
+	bad      bool
 	writePtr int
 	valid    int
 	// back-pointers for GC: the tenant and LPN stored in each page.
@@ -79,6 +87,18 @@ type Stats struct {
 	GCReads      int64
 	Erases       int64
 	GCRuns       int64
+
+	// Fault-recovery accounting (all zero without a fault injector).
+	// Every injected program failure is remapped exactly once and then
+	// recovered by exactly one action — a host re-dispatch (counted by the
+	// vSSD layer), a GC re-program, or a GC skip when a fresher host write
+	// superseded the lost page — so
+	//   device.ProgramFails == Remapped
+	//                       == sum(vssd retries) + GCRetryPrograms + GCRetrySkips.
+	Retired         int64 // blocks retired to the bad-block table
+	Remapped        int64 // program-fail pages whose mapping was repaired
+	GCRetryPrograms int64 // failed GC migrations re-programmed elsewhere
+	GCRetrySkips    int64 // failed GC migrations superseded by host writes
 }
 
 // WriteAmplification returns (host+gc programs)/host programs, or 1 when
@@ -171,7 +191,90 @@ func NewManager(eng *sim.Engine, dev *flash.Device) *Manager {
 		m.freePools[m.poolIndex(b.id.Channel, b.id.Chip)] = append(m.freePools[m.poolIndex(b.id.Channel, b.id.Chip)], i)
 		m.freeCount[b.id.Channel]++
 	}
+	dev.OnFault(m.deviceFault)
 	return m
+}
+
+// deviceFault is the device's OnFault hook: it repairs FTL state for a
+// failed op before the op's Done callback runs, so the submitter's retry
+// (host re-dispatch or GC re-program) sees a consistent mapping and a
+// sealed bad block.
+func (m *Manager) deviceFault(kind flash.OpKind, addr flash.PPA, status flash.OpStatus) {
+	switch status {
+	case flash.StatusProgramFail:
+		m.handleProgramFail(addr)
+	case flash.StatusEraseFail:
+		// Mark the victim for retirement; gcEraseDone (which runs next,
+		// as the op's Done) retires it instead of pooling it.
+		m.markBad(m.blockIndex(addr.BlockOf()))
+	}
+}
+
+// handleProgramFail repairs the mapping after a failed page program: the
+// failed slot's back-pointer is cleared and the data owner's l2p entry is
+// reset if it still points at the failed page (a racing host overwrite
+// may already have superseded it), then the block is marked bad so GC
+// migrates its surviving pages and retires it.
+func (m *Manager) handleProgramFail(addr flash.PPA) {
+	idx := m.blockIndex(addr.BlockOf())
+	b := &m.blocks[idx]
+	page := addr.Page
+	if b.pageTenant[page] != invalidPPA {
+		t := m.tenants[b.pageTenant[page]]
+		lpn := int(b.pageLPN[page])
+		b.pageTenant[page] = invalidPPA
+		b.valid--
+		t.mappedPages--
+		if t.l2p[lpn] == int64(idx)<<16|int64(page) {
+			t.l2p[lpn] = -1
+		}
+	}
+	m.stats.Remapped++
+	m.markBad(idx)
+}
+
+// markBad flags a block for retirement: it is sealed against further
+// writes and its owner's GC is kicked so the block is collected (bad
+// blocks are class-first victims) and retired. Idempotent.
+func (m *Manager) markBad(idx int) {
+	b := &m.blocks[idx]
+	if b.bad {
+		return
+	}
+	b.bad = true
+	if b.state == BlockOpen {
+		// Detach the block from whichever lane is writing it.
+		if b.user >= 0 {
+			m.tenants[b.user].sealActive(idx)
+		}
+		b.state = BlockFull
+	}
+	if b.owner >= 0 {
+		t := m.tenants[b.owner]
+		t.badBlocks++
+		t.maybeGC()
+	}
+}
+
+// retireBlock moves an erased-or-unerasable bad block into the terminal
+// BlockBad state instead of a free pool: its capacity is permanently
+// lost, mirroring a real FTL's bad-block table. The caller is responsible
+// for gSB notification (gcEraseDone reads the gsb id first).
+func (m *Manager) retireBlock(idx int) {
+	b := &m.blocks[idx]
+	if b.bad && b.owner >= 0 {
+		m.tenants[b.owner].badBlocks--
+	}
+	b.state = BlockBad
+	b.owner = -1
+	b.user = -1
+	b.harvested = false
+	b.gsb = -1
+	b.writePtr = 0
+	b.valid = 0
+	b.pageTenant = b.pageTenant[:0]
+	b.pageLPN = b.pageLPN[:0]
+	m.stats.Retired++
 }
 
 func (m *Manager) poolIndex(ch, chip int) int { return ch*m.cfg.ChipsPerChannel + chip }

@@ -44,6 +44,10 @@ type Tenant struct {
 	// GC state.
 	gcJobs    int
 	gcVictims int64
+	// badBlocks counts owned blocks flagged for retirement (program/erase
+	// failures) that GC has not yet retired; while non-zero, maybeGC keeps
+	// collecting even when free space is plentiful.
+	badBlocks int
 	// gcTarget, when above the manager threshold, makes GC keep collecting
 	// until the free fraction reaches it. The gSB manager raises it for
 	// tenants that are lending blocks so the §3.6 free floor stays
@@ -103,6 +107,25 @@ func (t *Tenant) InGC() bool { return t.gcJobs > 0 }
 
 // GCRuns returns the number of victim blocks collected so far.
 func (t *Tenant) GCRuns() int64 { return t.gcVictims }
+
+// BadBlocks returns the owned blocks flagged for retirement that GC has
+// not yet retired.
+func (t *Tenant) BadBlocks() int { return t.badBlocks }
+
+// sealActive detaches block idx from any lane currently writing it (the
+// fault path seals failed blocks so no further programs land on them).
+func (t *Tenant) sealActive(idx int) {
+	for _, ln := range t.lanes {
+		if ln.active == idx {
+			ln.active = -1
+		}
+	}
+	for _, ln := range t.gcLanes {
+		if ln.active == idx {
+			ln.active = -1
+		}
+	}
+}
 
 // SetGCTarget raises (or clears, with 0) the tenant's free-fraction goal.
 func (t *Tenant) SetGCTarget(frac float64) {
@@ -443,7 +466,7 @@ func (t *Tenant) maybeGC() {
 		if t.gcTarget > goal {
 			goal = t.gcTarget
 		}
-		if t.FreeFraction() > goal && !nearReserve {
+		if t.FreeFraction() > goal && !nearReserve && t.badBlocks == 0 {
 			return
 		}
 		victim := t.pickVictim()
@@ -483,13 +506,18 @@ func (t *Tenant) pickVictim() int {
 		// would be pure write amplification (and can livelock GC
 		// re-arming). A fully valid *harvested* block is still worth
 		// collecting: its data migrates into the harvester's own space and
-		// the block returns to this tenant's pool.
-		if b.valid >= t.mgr.cfg.PagesPerBlock && !b.harvested {
+		// the block returns to this tenant's pool. A *bad* block must be
+		// collected no matter what — its surviving pages need to move off
+		// the failing media before it is retired.
+		if b.valid >= t.mgr.cfg.PagesPerBlock && !b.harvested && !b.bad {
 			continue
 		}
 		class := 1
 		if t.mgr.HarvestedFirst && b.harvested {
 			class = 0
+		}
+		if b.bad {
+			class = -1
 		}
 		key := [2]int{class, b.valid}
 		if key[0] < bestKey[0] || (key[0] == bestKey[0] && key[1] < bestKey[1]) {
@@ -589,8 +617,9 @@ func (j *gcJob) finish() {
 }
 
 // gcReadDone: the migration read finished; try to program the data to its
-// new home. ctx is the *gcJob, ctxI the victim page index.
-func gcReadDone(ctx any, ctxI int64, _ sim.Time) {
+// new home. ctx is the *gcJob, ctxI the victim page index. Reads never
+// report a failure status (retry latency is folded into the cell time).
+func gcReadDone(ctx any, ctxI int64, _ sim.Time, _ flash.OpStatus) {
 	gcTryProgram(sim.EventArg{P: ctx, I: ctxI}, 0)
 }
 
@@ -612,13 +641,13 @@ func gcTryProgram(arg sim.EventArg, _ sim.Time) {
 	dataTenant := j.t.mgr.tenants[b.pageTenant[p]]
 	lpn := int(b.pageLPN[p])
 	if dst, ok := dataTenant.AllocatePage(lpn, true); ok {
-		j.programMigrated(dataTenant, dst, j.t.gcPriority())
+		j.programMigrated(dataTenant, lpn, dst, j.t.gcPriority())
 		return
 	}
 	j.t.mgr.eng.ScheduleEvent(sim.Millisecond, gcTryProgram, arg)
 }
 
-func (j *gcJob) programMigrated(dataTenant *Tenant, dst flash.PPA, prio int) {
+func (j *gcJob) programMigrated(dataTenant *Tenant, lpn int, dst flash.PPA, prio int) {
 	t := j.t
 	t.mgr.stats.GCPrograms++
 	dataTenant.stats.GCPrograms++
@@ -629,10 +658,46 @@ func (j *gcJob) programMigrated(dataTenant *Tenant, dst flash.PPA, prio int) {
 	op.Priority = prio
 	op.Done = gcProgramDone
 	op.Ctx = j
+	// Carry (data tenant, LPN) so a program failure can re-issue the
+	// migration without touching the (possibly recycled) op.
+	op.CtxI = int64(dataTenant.id)<<32 | int64(lpn)
 	t.mgr.Submit(op)
 }
 
-func gcProgramDone(ctx any, _ int64, _ sim.Time) { ctx.(*gcJob).finish() }
+// gcProgramDone finishes one migration program. On a program failure the
+// FTL has already repaired the mapping (OnFault runs first), so the lost
+// page is re-migrated through gcRetryProgram; the job stays outstanding
+// until the page lands somewhere or a host write supersedes it.
+func gcProgramDone(ctx any, ctxI int64, _ sim.Time, status flash.OpStatus) {
+	if status == flash.StatusProgramFail {
+		gcRetryProgram(sim.EventArg{P: ctx, I: ctxI}, 0)
+		return
+	}
+	ctx.(*gcJob).finish()
+}
+
+// gcRetryProgram re-issues a failed GC migration for the (tenant, LPN)
+// packed in arg.I. If the LPN has been remapped since the failure, a
+// racing host write owns fresher data and the migration is dropped;
+// otherwise a new destination page is allocated (retrying on allocation
+// stall like gcTryProgram) and programmed.
+func gcRetryProgram(arg sim.EventArg, _ sim.Time) {
+	j := arg.P.(*gcJob)
+	m := j.t.mgr
+	dataTenant := m.tenants[int(arg.I>>32)]
+	lpn := int(arg.I & 0xFFFFFFFF)
+	if dataTenant.l2p[lpn] != -1 {
+		m.stats.GCRetrySkips++
+		j.finish()
+		return
+	}
+	if dst, ok := dataTenant.AllocatePage(lpn, true); ok {
+		m.stats.GCRetryPrograms++
+		j.programMigrated(dataTenant, lpn, dst, j.t.gcPriority())
+		return
+	}
+	m.eng.ScheduleEvent(sim.Millisecond, gcRetryProgram, arg)
+}
 
 // eraseVictim erases the (now fully invalid) victim and returns it to the
 // free pool, clearing the HBT bit (§3.7: "blocks are marked as regular
@@ -651,15 +716,22 @@ func (t *Tenant) eraseVictim(j *gcJob) {
 	t.mgr.Submit(op)
 }
 
-// gcEraseDone retires the whole job: the block returns to the free pool,
-// the gSB manager is notified, and GC re-arms. The job is recycled first so
-// a re-armed collection reuses it.
-func gcEraseDone(ctx any, _ int64, _ sim.Time) {
+// gcEraseDone retires the whole job: the block returns to the free pool —
+// or, when the erase failed or the block was already flagged bad, to the
+// bad-block table — the gSB manager is notified either way (a retired
+// gSB block still completes the gSB's pending-block accounting), and GC
+// re-arms. The job is recycled first so a re-armed collection reuses it.
+func gcEraseDone(ctx any, _ int64, _ sim.Time, status flash.OpStatus) {
 	j := ctx.(*gcJob)
 	t, victim, gsbID := j.t, j.victim, j.b.gsb
+	bad := j.b.bad || status == flash.StatusEraseFail
 	m := t.mgr
 	m.releaseGCJob(j)
-	m.releaseBlock(victim)
+	if bad {
+		m.retireBlock(victim)
+	} else {
+		m.releaseBlock(victim)
+	}
 	if m.onBlockErased != nil {
 		m.onBlockErased(victim, gsbID)
 	}

@@ -11,6 +11,7 @@ import (
 type fixture struct {
 	eng  *sim.Engine
 	cfg  flash.Config
+	dev  *flash.Device
 	ftlm *ftl.Manager
 	gm   *Manager
 	home *ftl.Tenant
@@ -31,7 +32,7 @@ func newFixture(t *testing.T) *fixture {
 	gm.BlocksPerChip = 2
 	home := ftl.NewTenant(ftlm, 0, []int{0, 1}, 512)
 	harv := ftl.NewTenant(ftlm, 1, []int{2, 3}, 512)
-	return &fixture{eng: eng, cfg: cfg, ftlm: ftlm, gm: gm, home: home, harv: harv}
+	return &fixture{eng: eng, cfg: cfg, dev: dev, ftlm: ftlm, gm: gm, home: home, harv: harv}
 }
 
 func TestChannelsFor(t *testing.T) {

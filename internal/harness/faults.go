@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fault"
+	"repro/internal/flash"
+	"repro/internal/sim"
+)
+
+// FaultLevel pairs a scenario label with an injector configuration.
+type FaultLevel struct {
+	Name string
+	// Cfg is nil for the fault-free baseline level.
+	Cfg *fault.Config
+}
+
+// FaultLevels is the off/light/heavy ladder the fault scenario sweeps.
+func FaultLevels() []FaultLevel {
+	light := fault.Light()
+	heavy := fault.Heavy()
+	return []FaultLevel{
+		{Name: "off"},
+		{Name: "light", Cfg: &light},
+		{Name: "heavy", Cfg: &heavy},
+	}
+}
+
+// FaultRunStats is the fault-recovery ledger of one measured run: what the
+// device injected and what the FTL/vSSD layers did about it.
+type FaultRunStats struct {
+	Device          flash.FaultStats
+	Retired         int64
+	Remapped        int64
+	GCRetryPrograms int64
+	GCRetrySkips    int64
+	WriteRetries    int64
+}
+
+// Recovered is the number of injected program failures resolved by a
+// recovery action. A healthy run satisfies
+// Device.ProgramFails == Remapped == Recovered().
+func (s FaultRunStats) Recovered() int64 {
+	return s.WriteRetries + s.GCRetryPrograms + s.GCRetrySkips
+}
+
+// Balanced reports whether every injected program failure was remapped and
+// recovered exactly once — the invariant the fault-injection error paths
+// are built around.
+func (s FaultRunStats) Balanced() bool {
+	return s.Device.ProgramFails == s.Remapped && s.Device.ProgramFails == s.Recovered()
+}
+
+// RunOneWithFaults is RunOne plus the run's fault-recovery ledger, read
+// off the platform after the measured interval.
+func RunOneWithFaults(mix MixSpec, kind PolicyKind, slos []sim.Time, opt Options) (Result, FaultRunStats) {
+	r := buildPlatform(mix, kind, slos, opt)
+	r.attachPolicy(kind, mix)
+	r.execute()
+	res := r.collect(mix, kind)
+	// Settle the ledger before reading it: a program that failed right at
+	// the stop boundary may not have completed its retry yet, and a GC
+	// re-program can be waiting out a 1 ms allocation backoff. The Result
+	// was collected first, so the measured figures are untouched.
+	r.eng.RunUntil(opt.Warmup + opt.Duration + 50*sim.Millisecond)
+	fst := r.plat.FTL().Stats()
+	st := FaultRunStats{
+		Device:          r.plat.Device().FaultStats(),
+		Retired:         fst.Retired,
+		Remapped:        fst.Remapped,
+		GCRetryPrograms: fst.GCRetryPrograms,
+		GCRetrySkips:    fst.GCRetrySkips,
+	}
+	for _, v := range r.plat.VSSDs() {
+		st.WriteRetries += v.TotalRetries()
+	}
+	return res, st
+}
+
+// FaultScenarioResult is one fault level's outcome within a scenario.
+type FaultScenarioResult struct {
+	Level  string
+	Result Result
+	Stats  FaultRunStats
+}
+
+// FaultScenario runs the mix under FleetIO at every fault level, against
+// SLOs calibrated fault-free, and returns the per-level outcomes. The
+// levels are independent deterministic simulations and fan out over
+// opt.Workers goroutines; results come back in level order regardless of
+// worker count.
+func FaultScenario(mix MixSpec, opt Options) []FaultScenarioResult {
+	slos := Calibrate(mix, opt)
+	levels := FaultLevels()
+	out := make([]FaultScenarioResult, len(levels))
+	forEach(len(levels), opt.workers(), func(i int) {
+		o := opt
+		o.Faults = levels[i].Cfg
+		o.ErrorRateState = o.Faults != nil && o.Faults.Enabled()
+		res, st := RunOneWithFaults(mix, PolFleetIO, slos, o)
+		out[i] = FaultScenarioResult{Level: levels[i].Name, Result: res, Stats: st}
+	})
+	return out
+}
+
+// FigureFaults renders the fault scenario for every mix: SLO preservation
+// under injected NAND failures, with the injected/recovered ledger per
+// level. Output is deterministic for a given seed at any worker count.
+func FigureFaults(w io.Writer, mixes []MixSpec, opt Options) {
+	fmt.Fprintf(w, "== Fault scenarios: SLO preservation under injected NAND failures (seed=%d) ==\n", opt.Seed)
+	for _, mix := range mixes {
+		rows := FaultScenario(mix, opt)
+		fmt.Fprintf(w, "%s (%v)\n", mix.Label, mix.Workloads)
+		fmt.Fprintf(w, "  %-6s %9s %9s %10s %10s %9s %9s %9s %9s\n",
+			"level", "util%", "maxVio%", "pfail", "efail", "retired", "remap", "retries", "gcRetry")
+		for _, row := range rows {
+			maxVio := 0.0
+			for _, tr := range row.Result.Tenants {
+				if tr.VioRate > maxVio {
+					maxVio = tr.VioRate
+				}
+			}
+			st := row.Stats
+			fmt.Fprintf(w, "  %-6s %9.2f %9.3f %10d %10d %9d %9d %9d %9d\n",
+				row.Level, row.Result.AvgUtil*100, maxVio*100,
+				st.Device.ProgramFails, st.Device.EraseFails,
+				st.Retired, st.Remapped, st.WriteRetries,
+				st.GCRetryPrograms+st.GCRetrySkips)
+			if !st.Balanced() {
+				fmt.Fprintf(w, "  !! recovery imbalance: injected=%d remapped=%d recovered=%d\n",
+					st.Device.ProgramFails, st.Remapped, st.Recovered())
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+func faultTestOptions() Options {
+	opt := DefaultOptions()
+	opt.Window = 250 * sim.Millisecond
+	opt.Warmup = 1 * sim.Second
+	opt.Duration = 2 * sim.Second
+	opt.BlocksPerChip = 32
+	return opt
+}
+
+// TestFaultScenarioDeterministic pins the tentpole contract: the same seed
+// produces byte-identical fault-scenario output at any worker count.
+func TestFaultScenarioDeterministic(t *testing.T) {
+	mixes := []MixSpec{Pair("VDI-Web", "TeraSort")}
+	render := func(workers int) string {
+		opt := faultTestOptions()
+		opt.Workers = workers
+		var b bytes.Buffer
+		FigureFaults(&b, mixes, opt)
+		return b.String()
+	}
+	seq := render(1)
+	par := render(4)
+	if seq != par {
+		t.Fatalf("fault scenario output differs between 1 and 4 workers:\n--- workers=1 ---\n%s--- workers=4 ---\n%s", seq, par)
+	}
+	if par != render(4) {
+		t.Fatal("fault scenario output not reproducible across repeated runs")
+	}
+}
+
+// TestFaultRecoveryInvariant runs a heavy-fault scenario and checks that
+// every injected failure is visibly recovered: each program fail is
+// remapped exactly once and resolved by exactly one retry/skip, and each
+// erase fail retires its block.
+func TestFaultRecoveryInvariant(t *testing.T) {
+	opt := faultTestOptions()
+	heavy := fault.Heavy()
+	opt.Faults = &heavy
+	opt.ErrorRateState = true
+	mix := Pair("VDI-Web", "TeraSort")
+	slos := Calibrate(mix, opt)
+	res, st := RunOneWithFaults(mix, PolFleetIO, slos, opt)
+
+	if st.Device.ProgramFails == 0 {
+		t.Fatal("heavy fault profile injected no program failures")
+	}
+	if !st.Balanced() {
+		t.Fatalf("recovery imbalance: injected=%d remapped=%d recovered=%d (writeRetries=%d gcRetry=%d gcSkip=%d)",
+			st.Device.ProgramFails, st.Remapped, st.Recovered(),
+			st.WriteRetries, st.GCRetryPrograms, st.GCRetrySkips)
+	}
+	if st.Retired < st.Device.EraseFails {
+		t.Fatalf("retired blocks %d < injected erase fails %d", st.Retired, st.Device.EraseFails)
+	}
+	for _, tr := range res.Tenants {
+		if tr.Completed == 0 {
+			t.Fatalf("tenant %s completed no requests under faults", tr.Workload)
+		}
+	}
+}
+
+// TestFaultsDisabledMatchesBaseline pins the zero-cost contract at the
+// harness level: a nil fault config produces the exact same Result as the
+// plain entry point, with an all-zero fault ledger.
+func TestFaultsDisabledMatchesBaseline(t *testing.T) {
+	opt := faultTestOptions()
+	mix := Pair("VDI-Web", "TeraSort")
+	slos := Calibrate(mix, opt)
+	base := RunOne(mix, PolFleetIO, slos, opt)
+	res, st := RunOneWithFaults(mix, PolFleetIO, slos, opt)
+	if st != (FaultRunStats{}) {
+		t.Fatalf("fault ledger non-zero without an injector: %+v", st)
+	}
+	if renderResults([]Result{base}) != renderResults([]Result{res}) {
+		t.Fatalf("fault-free RunOneWithFaults diverged from RunOne:\n%s\nvs\n%s",
+			renderResults([]Result{base}), renderResults([]Result{res}))
+	}
+}

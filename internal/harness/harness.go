@@ -13,6 +13,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/flash"
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -94,6 +95,18 @@ type Options struct {
 	// 0 means GOMAXPROCS; 1 forces sequential execution. Results are
 	// byte-identical at any setting.
 	Workers int
+	// Faults, when non-nil and enabled, installs a NAND fault injector on
+	// each measured run's device. Calibration runs stay fault-free so the
+	// SLOs keep their clean-hardware definition; the measured run is then
+	// judged against them under injected failures. A zero Config.Seed
+	// derives the injector stream from Options.Seed, so fault scenarios
+	// are per-seed deterministic.
+	Faults *fault.Config
+	// ErrorRateState widens the FleetIO RL state with the per-tenant
+	// write-retry rate (core.StatesPerWindowExt). It changes the network
+	// input width, so it is skipped when a Pretrained network (built at
+	// the base width) is supplied.
+	ErrorRateState bool
 }
 
 // DefaultOptions returns fast, deterministic settings for tests/benches.
@@ -273,6 +286,13 @@ func buildPlatform(mix MixSpec, kind PolicyKind, slos []sim.Time, opt Options) *
 	if opt.Obs != nil {
 		plat.SetObserver(opt.Obs.Recorder())
 	}
+	if opt.Faults != nil && opt.Faults.Enabled() {
+		fc := *opt.Faults
+		if fc.Seed == 0 {
+			fc.Seed = opt.Seed
+		}
+		plat.Device().SetFaultInjector(fault.NewInjector(fc))
+	}
 	nT := len(mix.Workloads)
 	nCh := pc.Flash.Channels
 	if nCh%nT != 0 {
@@ -360,6 +380,7 @@ func (r *run) attachPolicy(kind PolicyKind, mix MixSpec) {
 			Pretrained:     pretrained,
 			TypeModel:      tm,
 			AlphaByCluster: alphas,
+			ErrorRateState: r.opt.ErrorRateState && pretrained == nil,
 			Obs:            r.plat.Observer(),
 		})
 		for i, rec := range r.recs {
@@ -473,8 +494,10 @@ func insertionSort(xs []float64) {
 // tenant's measured P99 — the SLO definition of §3.3.1.
 func Calibrate(mix MixSpec, opt Options) []sim.Time {
 	// Calibration defines the SLOs; observing it would pollute the trace
-	// and telemetry of the measured run that follows.
+	// and telemetry of the measured run that follows, and injecting
+	// faults into it would bake retry tails into the SLO itself.
 	opt.Obs = nil
+	opt.Faults = nil
 	r := buildPlatform(mix, PolHardware, nil, opt)
 	r.attachPolicy(PolHardware, mix)
 	r.execute()

@@ -41,6 +41,24 @@ func (r *run) startObserving() *obs.Sampler {
 	gsbCreateFail := reg.Counter("fleetio_gsb_create_failures_total", "Make_Harvestable calls that found no lendable channel.")
 	gsbMisses := reg.Counter("fleetio_gsb_harvest_misses_total", "Harvest calls that found no compatible gSB.")
 
+	// Fault-injection series, registered only when the run injects faults
+	// so fault-free runs export the exact catalogue they always did.
+	dev := r.plat.Device()
+	var fProgFail, fEraseFail, fReadRetry, fRetryRounds, fTimeouts *obs.Metric
+	var fRetired, fRemapped, fGCRetry, fGCSkip, fWriteRetry *obs.Metric
+	if r.opt.Faults != nil && r.opt.Faults.Enabled() {
+		fProgFail = reg.Counter("fleetio_fault_program_fails_total", "Injected NAND program failures.")
+		fEraseFail = reg.Counter("fleetio_fault_erase_fails_total", "Injected NAND erase failures.")
+		fReadRetry = reg.Counter("fleetio_fault_read_retry_ops_total", "Reads that needed at least one retry round.")
+		fRetryRounds = reg.Counter("fleetio_fault_read_retry_rounds_total", "Total read-retry rounds added.")
+		fTimeouts = reg.Counter("fleetio_fault_chip_timeouts_total", "Transient chip timeouts injected on reads.")
+		fRetired = reg.Counter("fleetio_fault_retired_blocks_total", "Blocks permanently retired after failures.")
+		fRemapped = reg.Counter("fleetio_fault_remapped_pages_total", "Failed program slots remapped by the FTL.")
+		fGCRetry = reg.Counter("fleetio_fault_gc_retry_programs_total", "GC migrations re-programmed after a failure.")
+		fGCSkip = reg.Counter("fleetio_fault_gc_retry_skips_total", "Failed GC migrations superseded by host writes.")
+		fWriteRetry = reg.Counter("fleetio_fault_write_retries_total", "Host page writes re-dispatched after a program failure.")
+	}
+
 	var admAdmitted, admFiltered, admBatches *obs.Metric
 	if r.runner != nil && r.runner.Adm != nil {
 		admAdmitted = reg.Counter("fleetio_admission_admitted_total", "Harvest-related actions admitted.")
@@ -92,6 +110,24 @@ func (r *run) startObserving() *obs.Sampler {
 		gsbReclaimed.Set(float64(gst.Reclaimed))
 		gsbCreateFail.Set(float64(gst.CreateFailures))
 		gsbMisses.Set(float64(gst.HarvestMisses))
+
+		if fProgFail != nil {
+			dfs := dev.FaultStats()
+			fProgFail.Set(float64(dfs.ProgramFails))
+			fEraseFail.Set(float64(dfs.EraseFails))
+			fReadRetry.Set(float64(dfs.ReadRetryOps))
+			fRetryRounds.Set(float64(dfs.RetryRounds))
+			fTimeouts.Set(float64(dfs.ChipTimeouts))
+			fRetired.Set(float64(fst.Retired))
+			fRemapped.Set(float64(fst.Remapped))
+			fGCRetry.Set(float64(fst.GCRetryPrograms))
+			fGCSkip.Set(float64(fst.GCRetrySkips))
+			var retries int64
+			for _, v := range r.plat.VSSDs() {
+				retries += v.TotalRetries()
+			}
+			fWriteRetry.Set(float64(retries))
+		}
 
 		if admAdmitted != nil {
 			ast := r.runner.Adm.Stats()

@@ -106,9 +106,11 @@ func (h *Histogram) Max() int64 { return h.max }
 // Zero is a deliberate sentinel, not a measurement: no real completion has
 // a zero-nanosecond latency, so downstream consumers (SLO calibration,
 // telemetry gauges, figure tables) can — and do — treat a zero quantile as
-// "no data" rather than an exceptionally fast tail.
+// "no data" rather than an exceptionally fast tail. A NaN q also returns
+// the 0 sentinel (int64(NaN) is undefined in Go, so it must not reach the
+// rank conversion).
 func (h *Histogram) Quantile(q float64) int64 {
-	if h.total == 0 {
+	if h.total == 0 || math.IsNaN(q) {
 		return 0
 	}
 	if q <= 0 {
@@ -117,7 +119,11 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if q >= 1 {
 		return h.max
 	}
-	rank := int64(math.Ceil(q * float64(h.total)))
+	// The q-quantile is the ceil(q*total)-th smallest sample. The product
+	// can land one float ulp above an exact integer boundary (0.07*100 =
+	// 7.0000000000000009), which would push Ceil one rank too high; shave
+	// a relative epsilon before rounding so exact boundaries stay exact.
+	rank := int64(math.Ceil(q * float64(h.total) * (1 - 4e-16)))
 	if rank < 1 {
 		rank = 1
 	}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -182,6 +183,78 @@ func TestHistogramQuantileProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHistogramQuantileRankOracle checks Quantile against a sorted-sample
+// oracle with exact integer rank arithmetic: the q-quantile of n samples is
+// the ceil(q*n)-th smallest, and the histogram must return a value in that
+// sample's bucket. q values are k/100 fractions so the oracle rank
+// (k*n+99)/100 is computed without floats — this is the property the old
+// float-only rank broke (0.07*100 rounds to 7.0000000000000009, Ceil'ing
+// to rank 8 instead of 7).
+func TestHistogramQuantileRankOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 7, 10, 100, 1000, 4096} {
+		var h Histogram
+		samples := make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			v := int64(r.Intn(1_000_000))
+			h.Add(v)
+			samples = append(samples, v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for k := 1; k <= 99; k++ {
+			q := float64(k) / 100
+			rank := (k*n + 99) / 100 // ceil(k*n/100) in exact arithmetic
+			oracle := samples[rank-1]
+			got := h.Quantile(q)
+			if slotFor(got) != slotFor(oracle) {
+				t.Fatalf("n=%d Quantile(%v) = %d (slot %d), oracle rank %d sample %d (slot %d)",
+					n, q, got, slotFor(got), rank, oracle, slotFor(oracle))
+			}
+		}
+	}
+}
+
+// TestHistogramQuantileBoundary pins exact behavior when q lands exactly on
+// a rank boundary of exactly-stored small values.
+func TestHistogramQuantileBoundary(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 10; i++ {
+		h.Add(i) // values < subBuckets are stored exactly
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.07, 1}, // ceil(0.7) = rank 1 — regression: float error gave rank 2
+		{0.1, 1},  // ceil(1.0) = rank 1, exactly on the boundary
+		{0.10001, 2},
+		{0.5, 5}, // ceil(5.0) = rank 5
+		{0.51, 6},
+		{0.9, 9},
+		{0.99, 10},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantileNaN pins the NaN contract: int64(NaN) is undefined
+// behavior in Go, so a NaN q must short-circuit to the 0 sentinel on both
+// empty and populated histograms.
+func TestHistogramQuantileNaN(t *testing.T) {
+	nan := math.NaN()
+	var h Histogram
+	if got := h.Quantile(nan); got != 0 {
+		t.Fatalf("empty Quantile(NaN) = %d, want 0", got)
+	}
+	h.Add(123456)
+	if got := h.Quantile(nan); got != 0 {
+		t.Fatalf("Quantile(NaN) = %d, want 0 sentinel", got)
 	}
 }
 

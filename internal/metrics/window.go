@@ -20,6 +20,10 @@ type Window struct {
 	// QueueDelaySum is the total time (ns) requests spent queued before
 	// their first flash operation was dispatched.
 	QueueDelaySum int64
+	// Retries counts page writes re-dispatched after an injected NAND
+	// program failure; zero without a fault injector. The per-tenant
+	// error-rate RL state feature derives from it.
+	Retries int64
 	// Hist records per-request latency for tail quantiles.
 	Hist Histogram
 }
@@ -112,5 +116,6 @@ func (w *Window) Merge(o *Window) {
 	w.LatencyCount += o.LatencyCount
 	w.SLOViolations += o.SLOViolations
 	w.QueueDelaySum += o.QueueDelaySum
+	w.Retries += o.Retries
 	w.Hist.Merge(&o.Hist)
 }

@@ -113,11 +113,12 @@ type VSSD struct {
 	pass   float64
 	stride float64
 
-	window     metrics.Window
-	windowAt   sim.Time
-	totalHist  metrics.Histogram
-	completed  int64
-	totalBytes int64
+	window       metrics.Window
+	windowAt     sim.Time
+	totalHist    metrics.Histogram
+	completed    int64
+	totalBytes   int64
+	totalRetries int64
 
 	slo sim.Time
 }
@@ -179,6 +180,14 @@ func (v *VSSD) TotalHist() *metrics.Histogram { return &v.totalHist }
 // TotalBytesMoved returns the payload bytes of completed host requests
 // since creation (or the last ResetTotals).
 func (v *VSSD) TotalBytesMoved() int64 { return v.totalBytes }
+
+// TotalRetries returns the host page writes re-dispatched after an
+// injected program failure since creation. Unlike the other run totals it
+// survives ResetTotals: the device and FTL fault ledgers are cumulative
+// over the whole run, and the recovery identity
+// (flash.FaultStats.ProgramFails == ftl.Stats.Remapped == retries+GC
+// recoveries) only balances against a counter with the same lifetime.
+func (v *VSSD) TotalRetries() int64 { return v.totalRetries }
 
 // ResetTotals clears the run-level counters (histogram, completion count,
 // byte totals) at a measurement boundary; in-flight requests keep
@@ -332,9 +341,18 @@ func (v *VSSD) dispatch(r *Request) {
 }
 
 // requestPageDone is the flash.OpDone for host page ops: ctx carries the
-// *Request (the op itself is already recycled).
-func requestPageDone(ctx any, _ int64, at sim.Time) {
+// *Request (the op itself is already recycled). A failed program is
+// re-dispatched: the FTL has already repaired the mapping and retired the
+// bad block (OnFault runs first), so the retry allocates a healthy page.
+// The request's arrival and first-dispatch stamps are preserved, so the
+// retry latency lands in the same latency/queue-delay/SLO accounting as
+// any other slowdown.
+func requestPageDone(ctx any, ctxI int64, at sim.Time, status flash.OpStatus) {
 	r := ctx.(*Request)
+	if status == flash.StatusProgramFail {
+		r.owner.retryFailedWrite(r, int(ctxI))
+		return
+	}
 	r.owner.pageDone(r, at)
 }
 
@@ -369,7 +387,18 @@ func (v *VSSD) dispatchWrite(r *Request, lpn int) {
 	op.Pass = v.pass
 	op.Done = requestPageDone
 	op.Ctx = r
+	op.CtxI = int64(lpn) // for the program-fail retry path
 	v.plat.submit(op)
+}
+
+// retryFailedWrite re-dispatches one page of r after an injected program
+// failure. The page count stays outstanding (remaining is untouched), so
+// the request completes only when the retried page finally lands.
+func (v *VSSD) retryFailedWrite(r *Request, lpn int) {
+	v.inflight--
+	v.window.Retries++
+	v.totalRetries++
+	v.dispatchWrite(r, lpn)
 }
 
 func (v *VSSD) dispatchRead(r *Request, lpn int) {

@@ -4,9 +4,11 @@
 # detector on the concurrency-heavy packages (the trainer's worker pool,
 # the gSB pool, admission batching, the obs recorder that both of them
 # write into, the event engine, the pooled flash/FTL datapath, and the
-# harness's parallel run fan-out), allocation-regression guards on the
-# per-I/O datapath, boxing/dead-import grep gates, and a one-iteration
-# benchmark smoke pass that fails on any steady-state device allocation.
+# harness's parallel run fan-out, and the NAND fault injector),
+# allocation-regression guards on the per-I/O datapath, boxing/dead-import
+# grep gates, a fault-enabled determinism gate (same seed => byte-identical
+# scenario output at any worker count), and a one-iteration benchmark smoke
+# pass that fails on any steady-state device allocation.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -63,7 +65,7 @@ if grep -n 'interface{}' internal/flash/*.go internal/sim/*.go internal/ftl/*.go
 fi
 
 echo "== go test -race (concurrency-heavy packages)"
-go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/... ./internal/obs/... ./internal/sim/... ./internal/flash/... ./internal/ftl/...
+go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/... ./internal/obs/... ./internal/sim/... ./internal/flash/... ./internal/ftl/... ./internal/fault/...
 
 echo "== go test -race -tags=flashdebug (op pool poison mode)"
 # flashdebug poisons every recycled Op on release so a use-after-release
@@ -83,6 +85,21 @@ echo "== go test -race (parallel harness)"
 # package under -race is prohibitively slow, so race-check the tests that
 # actually exercise concurrent runs (including the shared-observer one).
 go test -race -run 'TestCompareParallel|TestCompareAll|TestFigure16Parallel|TestForEach' ./internal/harness/
+
+echo "== fault-scenario determinism (same seed, 1 vs 4 workers)"
+# The fault injector draws from its own seeded stream on the single-threaded
+# engine, so a fault-enabled scenario must be byte-identical for a given
+# seed at any worker count. Two full fleetbench runs at different
+# parallelism prove both properties at once.
+faults1=$(mktemp) && faults4=$(mktemp)
+trap 'rm -f "$faults1" "$faults4"' EXIT
+go run ./cmd/fleetbench -fig faults -seconds 2 -warmup 1 -parallel 1 > "$faults1"
+go run ./cmd/fleetbench -fig faults -seconds 2 -warmup 1 -parallel 4 > "$faults4"
+if ! cmp -s "$faults1" "$faults4"; then
+    echo "fault scenario output differs between -parallel 1 and -parallel 4:" >&2
+    diff "$faults1" "$faults4" >&2 || true
+    exit 1
+fi
 
 echo "== benchmark smoke (one iteration each)"
 # Catches benchmarks that no longer compile or crash; timing numbers come
