@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/lockfree"
 	"repro/internal/nn"
@@ -129,6 +130,25 @@ func BenchmarkFigure17(b *testing.B) {
 		res := harness.RunTransfer("TeraSort", "VDI-Web", "YCSB", opt)
 		b.ReportMetric(res.BandwidthTenant(), "transfer-bi-MB/s")
 	}
+}
+
+// BenchmarkFigureFleet runs the rack-scale fleet scenario — 16 device
+// shards, least-loaded placement, admission and cold migration live —
+// and reports aggregate simulated I/O throughput per wall-second, the
+// scaling number of the multi-device layer.
+func BenchmarkFigureFleet(b *testing.B) {
+	opt := benchOptions()
+	opt.FleetDevices = 16
+	var completed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := harness.FleetScenario(fleet.PlaceLeastLoaded, opt)
+		completed += st.Completed
+		if !st.Balanced() {
+			b.Fatalf("fleet ledger imbalance: %+v", st)
+		}
+	}
+	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "simIOPS/s")
 }
 
 // --- §4.7 overhead microbenchmarks -----------------------------------

@@ -3,11 +3,22 @@
 //
 // Usage:
 //
-//	fleetbench [-fig all|2|3|6|10|14|15|16|17|faults|overhead] [-seconds N] [-model file] [-parallel N] [-faults spec]
+//	fleetbench [-fig all|2|3|6|10|14|15|16|17|faults|fleet|overhead]
+//	           [-seconds N] [-model file] [-parallel N] [-faults spec] [-fleet N]
 //
 // Figures 10–13 share one set of runs and are printed together.
-// Independent experiment runs fan out over -parallel workers (default: one
-// per CPU); results are byte-identical at any worker count.
+//
+// -parallel bounds the worker pool: independent experiment runs in flight
+// at once, or, for -fig fleet, device shards advanced concurrently per
+// epoch (0 = one per CPU, 1 = sequential; results are byte-identical at
+// any worker count).
+//
+// -faults injects deterministic NAND failures into the measured runs:
+// "light", "heavy", or a k=v spec (see internal/fault.ParseSpec).
+//
+// -fig fleet runs the rack-scale scenario — -fleet N devices (default 64)
+// under one virtual clock, comparing the placement baselines with fleet
+// admission and cold migration live.
 package main
 
 import (
@@ -26,15 +37,16 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fleetbench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: all, 2, 3, 6, 10, 14, 15, 16, 17, faults, overhead")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 2, 3, 6, 10, 14, 15, 16, 17, faults, fleet, overhead")
 	seconds := flag.Float64("seconds", 8, "measured virtual seconds per run")
 	warmup := flag.Float64("warmup", 4, "virtual warmup seconds per run")
 	windowMs := flag.Int("window", 250, "decision window in milliseconds")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	model := flag.String("model", "", "pretrained model file (from fleettrain); pretrains in-process when empty")
 	httpAddr := flag.String("http", "", "serve live run telemetry on /metrics and pprof on /debug/pprof/")
-	parallel := flag.Int("parallel", 0, "experiment runs in flight at once (0 = one per CPU, 1 = sequential)")
+	parallel := flag.Int("parallel", 0, "worker pool size: experiment runs, or fleet shards per epoch (0 = one per CPU, 1 = sequential)")
 	faults := flag.String("faults", "", "NAND fault injection: off, light, heavy, or k=v list (pfail=,efail=,rretry=,tmo=,maxretries=,rstep=,stall=,seed=)")
+	fleetN := flag.Int("fleet", 0, "device count for -fig fleet (0 = 64)")
 	flag.Parse()
 
 	faultCfg, err := fault.ParseSpec(*faults)
@@ -61,7 +73,11 @@ func main() {
 		opt.Faults = &faultCfg
 		log.Printf("injecting NAND faults: %s", *faults)
 	}
-	opt = harness.WithPretrained(opt)
+	opt.FleetDevices = *fleetN
+	if *fig != "fleet" {
+		// The fleet scenario has no RL policy to seed; skip pretraining.
+		opt = harness.WithPretrained(opt)
+	}
 
 	if *httpAddr != "" {
 		// One observer serves every figure run; with parallel runs in
@@ -117,6 +133,8 @@ func main() {
 		harness.Figure17(w, opt)
 	case "faults":
 		harness.FigureFaults(w, harness.EvalPairs()[:2], opt)
+	case "fleet":
+		harness.FigureFleet(w, opt)
 	case "overhead":
 		harness.Overheads(w)
 	default:

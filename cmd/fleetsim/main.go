@@ -5,14 +5,24 @@
 //
 //	fleetsim -mix YCSB,TeraSort -policy fleetio -seconds 10
 //	fleetsim -http :8080 -trace decisions.jsonl
+//	fleetsim -fleet 64 -placement least-loaded -seconds 4
 //
 // With -http the run exports live telemetry on /metrics (Prometheus text
 // format) and the pprof handlers on /debug/pprof/, and keeps serving after
 // the results print until interrupted. -trace writes every recorded
 // decision event as JSONL (see docs/OBSERVABILITY.md for both schemas).
-// -parallel bounds how many independent runs the harness keeps in flight
-// (a single fleetsim experiment is one run, so it matters mostly when the
-// harness fans out internally).
+//
+// -parallel bounds the worker pool: independent harness runs in flight at
+// once, or, with -fleet, device shards advanced concurrently per epoch
+// (0 = one per CPU, 1 = sequential; output is byte-identical either way).
+//
+// -faults injects deterministic NAND failures into the measured run:
+// "light", "heavy", or a k=v spec (see internal/fault.ParseSpec).
+//
+// -fleet N switches to the rack-scale simulation: N devices under one
+// virtual clock with fleet admission and cold migration, the placement
+// baseline chosen by -placement (least-loaded, round-robin, or hash).
+// -mix/-policy/-faults/-trace apply only to single-device runs.
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"strings"
 
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -38,13 +49,47 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof/ on this address (e.g. :8080)")
 	tracePath := flag.String("trace", "", "write decision events to this JSONL file")
-	parallel := flag.Int("parallel", 0, "experiment runs in flight at once (0 = one per CPU, 1 = sequential)")
+	parallel := flag.Int("parallel", 0, "worker pool size: harness runs, or fleet shards per epoch (0 = one per CPU, 1 = sequential)")
 	faults := flag.String("faults", "", "NAND fault injection: off, light, heavy, or k=v list (pfail=,efail=,rretry=,tmo=,maxretries=,rstep=,stall=,seed=)")
+	fleetN := flag.Int("fleet", 0, "run a rack-scale fleet of N devices instead of a single-device experiment")
+	placement := flag.String("placement", "least-loaded", "fleet placement baseline: least-loaded, round-robin, or hash (with -fleet)")
 	flag.Parse()
 
 	faultCfg, err := fault.ParseSpec(*faults)
 	if err != nil {
 		log.Fatalf("parsing -faults: %v", err)
+	}
+
+	if *fleetN > 0 {
+		pk, err := fleet.ParsePlacement(*placement)
+		if err != nil {
+			log.Fatalf("parsing -placement: %v", err)
+		}
+		opt := harness.DefaultOptions()
+		opt.Seed = *seed
+		opt.Duration = sim.Time(*seconds * 1e9)
+		opt.Workers = *parallel
+		opt.FleetDevices = *fleetN
+		var srv *obs.Server
+		if *httpAddr != "" {
+			opt.Obs = obs.NewObserver()
+			var err error
+			if srv, err = obs.Serve(*httpAddr, opt.Obs.Registry()); err != nil {
+				log.Fatalf("serving -http: %v", err)
+			}
+			log.Printf("observability on http://%s (/metrics, /debug/pprof/)", srv.Addr())
+		}
+		log.Printf("running %d-device fleet, %s placement...", *fleetN, pk)
+		st := harness.FleetScenario(pk, opt)
+		st.Render(os.Stdout)
+		if srv != nil {
+			log.Printf("run finished; serving on http://%s until interrupted", srv.Addr())
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt)
+			<-ch
+			_ = srv.Close()
+		}
+		return
 	}
 
 	kinds := map[string]harness.PolicyKind{

@@ -1,0 +1,595 @@
+// Package fleet implements the rack-scale layer of the FleetIO
+// reproduction: N flash devices, each a full engine shard (its own
+// sim.Engine driving the flash/FTL/gSB/vSSD stack), coordinated under one
+// fleet-wide virtual clock by barrier synchronization, with a control
+// plane on top that places arriving tenants onto devices, admits or
+// rejects them when the rack is saturated, and cold-migrates tenants off
+// contended devices.
+//
+// # Shard model and clock coordination
+//
+// Each device shard is an independent deterministic simulation. The fleet
+// advances all shards in lock-step epochs of Config.Quantum virtual time:
+// shards fan out over a bounded worker pool, each runs its engine to the
+// epoch boundary, and only after the barrier does the (sequential,
+// deterministically ordered) control plane read shard state and mutate it
+// — placing tenants, starting drains, cutting migrations over. No shard
+// ever observes another mid-epoch, so cross-device behavior is a pure
+// function of the seed: a fleet run is byte-identical at any worker
+// count. This is bounded-lag synchronization with the lag bound equal to
+// one quantum — the tightest cross-device interaction granularity.
+//
+// # Migration protocol
+//
+// Migration is cold: drain (stop the tenant's generator, wait for its
+// queue and inflight pages to empty), copy (the mapped pages are read
+// from the source device and written to the destination as real
+// simulated I/O through the normal vSSD datapath, contending with the
+// tenants already there), then cut over (trim the source mapping, free
+// its slot, restart the generator against the destination vSSD). The
+// whole drain+copy window is downtime charged to the tenant.
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/flash"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/vssd"
+	"repro/internal/workload"
+)
+
+// Config sizes and seeds a fleet run. The zero value of most fields picks
+// a sensible default (see the field comments); Devices and Duration are
+// required.
+type Config struct {
+	// Devices is the number of flash-device shards (required, >= 1).
+	Devices int
+	// Seed derives every stream in the fleet (per-shard, per-tenant, and
+	// control) via sim.RNG.Stream, so runs are seed-deterministic.
+	Seed int64
+	// Flash is the per-device geometry; zero value → DefaultDeviceConfig.
+	Flash flash.Config
+	// Window is the per-device decision window (0 → 100 ms).
+	Window sim.Time
+	// Quantum is the epoch length — the granularity of cross-device
+	// actions and the shard lag bound (0 → 100 ms).
+	Quantum sim.Time
+	// Duration is the total simulated time (required, > 0).
+	Duration sim.Time
+
+	// Tenants is how many tenants arrive over the run (0 → 2×slots+spill).
+	Tenants int
+	// ArrivalEvery spaces tenant arrivals (0 → spread over 60% of the run).
+	ArrivalEvery sim.Time
+	// Workloads is the arrival profile cycle (empty → DefaultWorkloadCycle).
+	Workloads []string
+	// Placement selects the device-assignment baseline.
+	Placement PlacementKind
+	// SlotsPerDevice is the fleet-admission capacity of one device (0 → 2).
+	SlotsPerDevice int
+	// QueueLimit bounds the fleet-wide pending queue; arrivals beyond it
+	// are rejected (0 → Devices/4+1).
+	QueueLimit int
+
+	// Migration enables cold vSSD migration off contended devices.
+	Migration bool
+	// MigrateGap is the minimum per-epoch utilization gap between the
+	// hottest and coolest device before a migration starts (0 → 0.20).
+	MigrateGap float64
+	// MigrateAfter holds migrations back until the fleet has settled
+	// (0 → 4 quanta).
+	MigrateAfter sim.Time
+	// MaxMigrations bounds concurrently in-flight migrations
+	// (0 → Devices/8+1).
+	MaxMigrations int
+
+	// PrefillFrac warms each placed tenant's logical space (0 → 0.35).
+	PrefillFrac float64
+	// Workers bounds the shard fan-out per epoch (0 → GOMAXPROCS,
+	// 1 → sequential). Results are byte-identical at any setting.
+	Workers int
+	// Obs, when non-nil, receives the fleetio_fleet_* metric roll-up,
+	// refreshed at every epoch boundary.
+	Obs *obs.Registry
+}
+
+// DefaultDeviceConfig is the per-shard flash geometry: a quarter-size
+// device (8 channels, 2 chips each) so racks of tens to hundreds of
+// devices stay fast while keeping the full channel/chip/GC dynamics.
+func DefaultDeviceConfig() flash.Config {
+	cfg := flash.DefaultConfig()
+	cfg.Channels = 8
+	cfg.ChipsPerChannel = 2
+	cfg.BlocksPerChip = 32
+	cfg.PagesPerBlock = 64
+	return cfg
+}
+
+// DefaultWorkloadCycle mixes light open-loop services with heavy
+// closed-loop batch jobs so device loads diverge enough for migration to
+// have work to do.
+func DefaultWorkloadCycle() []string {
+	return []string{"VDI-Web", "TeraSort", "YCSB", "MLPrep"}
+}
+
+// withDefaults resolves every zero field.
+func (c Config) withDefaults() Config {
+	if c.Devices <= 0 {
+		panic("fleet: Config.Devices must be >= 1")
+	}
+	if c.Duration <= 0 {
+		panic("fleet: Config.Duration must be > 0")
+	}
+	if c.Flash.Channels == 0 {
+		c.Flash = DefaultDeviceConfig()
+	}
+	if c.Window <= 0 {
+		c.Window = 100 * sim.Millisecond
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 100 * sim.Millisecond
+	}
+	if c.SlotsPerDevice <= 0 {
+		c.SlotsPerDevice = 2
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = c.Devices/4 + 1
+	}
+	if c.Tenants <= 0 {
+		// Oversubscribe the rack so admission has queueing and rejection
+		// work: capacity + half a device-count of spill.
+		c.Tenants = c.Devices*c.SlotsPerDevice + c.Devices/2 + 1
+	}
+	if c.ArrivalEvery <= 0 {
+		span := c.Duration * 6 / 10
+		c.ArrivalEvery = span / sim.Time(c.Tenants)
+		if c.ArrivalEvery <= 0 {
+			c.ArrivalEvery = 1
+		}
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = DefaultWorkloadCycle()
+	}
+	if c.MigrateGap <= 0 {
+		c.MigrateGap = 0.20
+	}
+	if c.MigrateAfter <= 0 {
+		c.MigrateAfter = 4 * c.Quantum
+	}
+	if c.MaxMigrations <= 0 {
+		c.MaxMigrations = c.Devices/8 + 1
+	}
+	if c.PrefillFrac <= 0 {
+		c.PrefillFrac = 0.35
+	}
+	return c
+}
+
+// TenantState tracks where a tenant is in its lifecycle.
+type TenantState uint8
+
+// Tenant lifecycle states.
+const (
+	// StateQueued: admitted to the fleet queue, waiting for a device slot.
+	StateQueued TenantState = iota
+	// StateRunning: placed and serving I/O on its device.
+	StateRunning
+	// StateDraining: migration started; waiting for inflight I/O to empty.
+	StateDraining
+	// StateCopying: drained; mapped pages copying to the destination.
+	StateCopying
+	// StateRejected: turned away — the rack and its queue were full.
+	StateRejected
+)
+
+func (s TenantState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDraining:
+		return "draining"
+	case StateCopying:
+		return "copying"
+	case StateRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("TenantState(%d)", uint8(s))
+	}
+}
+
+// Tenant is one fleet tenant: a workload bound to (at most) one device at
+// a time, possibly rebound by migration.
+type Tenant struct {
+	ID       int
+	Workload string
+	State    TenantState
+	// Device is the current (or destination, while migrating) device;
+	// -1 while queued or rejected.
+	Device int
+	// Migrations counts completed migrations of this tenant.
+	Migrations int
+	// Downtime is the total virtual time spent drained or copying.
+	Downtime sim.Time
+
+	arrival  sim.Time
+	placedAt sim.Time
+	rng      *sim.RNG
+	gen      *workload.Generator
+	vssd     *vssd.VSSD
+	// lastBytes is the TotalBytesMoved snapshot at the last epoch;
+	// epochBytes is the delta over the last epoch (the migration victim
+	// signal).
+	lastBytes  int64
+	epochBytes int64
+
+	mig *migration // non-nil while draining/copying
+}
+
+// Fleet is a rack of device shards plus the control plane state.
+type Fleet struct {
+	cfg     Config
+	shards  []*Shard
+	tenants []*Tenant
+	queue   []int // tenant IDs waiting for a slot, FIFO
+
+	arrivals []sim.Time // arrival time per tenant ID
+	nextArr  int
+	rrNext   int // round-robin cursor
+	ctrl     *sim.RNG
+
+	migs []*migration
+
+	now    sim.Time
+	epochs int
+
+	// counters feeding Stats
+	placed, rejected    int
+	migStarted, migDone int
+	migDowntime         sim.Time
+	lastFleetBytes      int64
+	metrics             *fleetMetrics
+	utilScratch         []float64
+}
+
+// New builds the fleet: every shard's engine, platform, and runner, the
+// arrival schedule, and (when cfg.Obs is set) the metric roll-up. No
+// virtual time elapses until Run.
+func New(cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	if err := cfg.Flash.Validate(); err != nil {
+		panic(err)
+	}
+	base := sim.NewRNG(cfg.Seed)
+	f := &Fleet{cfg: cfg, ctrl: base.Stream(-1)}
+	f.shards = make([]*Shard, cfg.Devices)
+	for i := range f.shards {
+		f.shards[i] = newShard(i, cfg, base.Stream(int64(i)))
+	}
+	f.arrivals = make([]sim.Time, cfg.Tenants)
+	f.tenants = make([]*Tenant, cfg.Tenants)
+	for i := range f.tenants {
+		f.arrivals[i] = sim.Time(i+1) * cfg.ArrivalEvery
+		f.tenants[i] = &Tenant{
+			ID:       i,
+			Workload: cfg.Workloads[i%len(cfg.Workloads)],
+			State:    StateQueued,
+			Device:   -1,
+			arrival:  f.arrivals[i],
+			rng:      base.Stream(int64(1<<20 + i)),
+		}
+	}
+	f.utilScratch = make([]float64, cfg.Devices)
+	if cfg.Obs != nil {
+		f.metrics = newFleetMetrics(cfg.Obs)
+	}
+	return f
+}
+
+// Config returns the resolved configuration (defaults filled in).
+func (f *Fleet) Config() Config { return f.cfg }
+
+// Shards returns the device shards in id order.
+func (f *Fleet) Shards() []*Shard { return f.shards }
+
+// Tenants returns every tenant in arrival order.
+func (f *Fleet) Tenants() []*Tenant { return f.tenants }
+
+// Now returns the fleet-wide virtual clock (the last epoch boundary).
+func (f *Fleet) Now() sim.Time { return f.now }
+
+// Run advances the whole fleet to cfg.Duration in quantum-sized epochs
+// and returns the final roll-up. Each epoch the shards run concurrently
+// to the barrier (Config.Workers bounds the fan-out), then the control
+// plane executes sequentially; the result is byte-identical at any
+// worker count.
+func (f *Fleet) Run() Stats {
+	for _, sh := range f.shards {
+		sh.runner.Start()
+	}
+	for f.now < f.cfg.Duration {
+		t := f.now + f.cfg.Quantum
+		if t > f.cfg.Duration {
+			t = f.cfg.Duration
+		}
+		f.advanceTo(t)
+		f.controlPlane(t)
+	}
+	return f.Collect()
+}
+
+// advanceTo runs every shard's engine to the epoch boundary t, fanning
+// shards out over the worker pool. Shards share no mutable state, so the
+// fan-out cannot change any shard's event order.
+func (f *Fleet) advanceTo(t sim.Time) {
+	forEach(len(f.shards), f.cfg.Workers, func(i int) {
+		f.shards[i].eng.RunUntil(t)
+	})
+	f.now = t
+	f.epochs++
+}
+
+// controlPlane is the sequential cross-device step at an epoch boundary:
+// refresh per-device load, advance migrations, place queued tenants, take
+// new arrivals, start new migrations, and publish metrics — in that fixed
+// order, so the run is deterministic.
+func (f *Fleet) controlPlane(now sim.Time) {
+	f.refreshLoad()
+	f.stepMigrations(now)
+
+	// Queued tenants retry before new arrivals (FIFO fairness).
+	remaining := f.queue[:0]
+	for _, id := range f.queue {
+		if !f.tryPlace(f.tenants[id], now) {
+			remaining = append(remaining, id)
+		}
+	}
+	f.queue = remaining
+
+	for f.nextArr < len(f.arrivals) && f.arrivals[f.nextArr] <= now {
+		tn := f.tenants[f.nextArr]
+		f.nextArr++
+		if f.tryPlace(tn, now) {
+			continue
+		}
+		if len(f.queue) < f.cfg.QueueLimit {
+			f.queue = append(f.queue, tn.ID)
+		} else {
+			tn.State = StateRejected
+			f.rejected++
+		}
+	}
+
+	if f.cfg.Migration && now >= f.cfg.MigrateAfter {
+		f.maybeMigrate(now)
+	}
+	if f.metrics != nil {
+		f.publishMetrics(now)
+	}
+}
+
+// refreshLoad computes each device's utilization over the last epoch and
+// each running tenant's byte delta (the migration victim signal).
+func (f *Fleet) refreshLoad() {
+	var fleetBytes int64
+	for i, sh := range f.shards {
+		total := sh.plat.TotalBytes()
+		peak := sh.peakBandwidth()
+		f.utilScratch[i] = float64(total-sh.lastBytes) / (peak * float64(f.cfg.Quantum) / 1e9)
+		sh.epochUtil = f.utilScratch[i]
+		sh.utilSum += sh.epochUtil
+		sh.lastBytes = total
+		fleetBytes += total
+		for _, tn := range sh.resident {
+			if tn.vssd != nil {
+				cur := tn.vssd.TotalBytesMoved()
+				tn.epochBytes = cur - tn.lastBytes
+				tn.lastBytes = cur
+			}
+		}
+	}
+	f.lastFleetBytes = fleetBytes
+}
+
+// tryPlace asks the placement policy for a device with a free slot.
+func (f *Fleet) tryPlace(tn *Tenant, now sim.Time) bool {
+	dev, ok := f.place(tn)
+	if !ok {
+		return false
+	}
+	sh := f.shards[dev]
+	sh.slotsUsed++
+	tn.Device = dev
+	tn.State = StateRunning
+	tn.placedAt = now
+	tn.vssd = sh.addTenantVSSD(tn, f.cfg)
+	tn.lastBytes = 0
+	tn.gen = workloadGenerator(sh, tn)
+	tn.gen.Start()
+	sh.resident = append(sh.resident, tn)
+	f.placed++
+	return true
+}
+
+// workloadGenerator binds the tenant's profile and private RNG stream to
+// its current vSSD. The stream object survives migration (the stopped
+// source generator never draws again), so a tenant's access sequence is
+// one continuous deterministic stream across devices.
+func workloadGenerator(sh *Shard, tn *Tenant) *workload.Generator {
+	return workload.NewGenerator(sh.eng, tn.vssd, workload.ByName(tn.Workload), tn.rng)
+}
+
+// Collect assembles the final Stats roll-up. It can be called after Run
+// (or mid-run from the control-plane thread).
+func (f *Fleet) Collect() Stats {
+	s := Stats{
+		Devices:             len(f.shards),
+		Epochs:              f.epochs,
+		Arrived:             f.nextArr,
+		Placed:              f.placed,
+		Queued:              len(f.queue),
+		Rejected:            f.rejected,
+		MigrationsStarted:   f.migStarted,
+		MigrationsCompleted: f.migDone,
+		MigrationsInFlight:  f.migStarted - f.migDone,
+		Downtime:            f.migDowntime,
+	}
+	for _, tn := range f.tenants[:f.nextArr] {
+		switch tn.State {
+		case StateRunning:
+			s.Running++
+		case StateDraining, StateCopying:
+			s.Migrating++
+		}
+	}
+	s.PerDevice = make([]DeviceStats, len(f.shards))
+	var hostBytes int64
+	for i, sh := range f.shards {
+		ds := DeviceStats{
+			Device:  i,
+			Tenants: sh.slotsUsed,
+		}
+		for _, v := range sh.plat.VSSDs() {
+			ds.BytesMoved += v.TotalBytesMoved()
+			ds.Completed += v.Completed()
+		}
+		if f.epochs > 0 {
+			ds.MeanUtil = sh.utilSum / float64(f.epochs)
+		}
+		hostBytes += ds.BytesMoved
+		s.Completed += ds.Completed
+		s.PerDevice[i] = ds
+	}
+	if f.now > 0 {
+		secs := float64(f.now) / 1e9
+		s.AggBandwidthMBps = float64(hostBytes) / secs / 1e6
+		peak := f.shards[0].peakBandwidth() * float64(len(f.shards))
+		s.AvgUtil = float64(hostBytes) / (peak * secs)
+	}
+	s.MinUtil, s.MaxUtil = 1e18, -1e18
+	for _, ds := range s.PerDevice {
+		if ds.MeanUtil < s.MinUtil {
+			s.MinUtil = ds.MeanUtil
+		}
+		if ds.MeanUtil > s.MaxUtil {
+			s.MaxUtil = ds.MeanUtil
+		}
+	}
+	if len(s.PerDevice) == 0 {
+		s.MinUtil, s.MaxUtil = 0, 0
+	}
+	return s
+}
+
+// Shard is one device: a full single-SSD simulation owned by the fleet.
+type Shard struct {
+	id   int
+	eng  *sim.Engine
+	plat *vssd.Platform
+
+	runner *core.Runner
+	rng    *sim.RNG
+
+	// slotsUsed counts occupied admission slots (running tenants plus
+	// reserved migration destinations).
+	slotsUsed int
+	resident  []*Tenant
+
+	lastBytes int64
+	epochUtil float64
+	utilSum   float64
+}
+
+// newShard builds one device shard on its own engine.
+func newShard(id int, cfg Config, rng *sim.RNG) *Shard {
+	eng := sim.NewEngine()
+	pc := vssd.DefaultPlatformConfig()
+	pc.Flash = cfg.Flash
+	plat := vssd.NewPlatform(eng, pc)
+	sh := &Shard{id: id, eng: eng, plat: plat, rng: rng}
+	sh.runner = &core.Runner{
+		Plat:   plat,
+		Policy: core.StaticPolicy{PolicyName: "fleet-device"},
+		Window: cfg.Window,
+	}
+	return sh
+}
+
+// ID returns the shard's device index.
+func (s *Shard) ID() int { return s.id }
+
+// Engine returns the shard's private engine.
+func (s *Shard) Engine() *sim.Engine { return s.eng }
+
+// Platform returns the shard's device platform.
+func (s *Shard) Platform() *vssd.Platform { return s.plat }
+
+// EpochUtil returns the device utilization over the last epoch.
+func (s *Shard) EpochUtil() float64 { return s.epochUtil }
+
+// SlotsUsed returns the occupied admission slots.
+func (s *Shard) SlotsUsed() int { return s.slotsUsed }
+
+// peakBandwidth is the device's aggregate channel bandwidth in bytes/s.
+func (s *Shard) peakBandwidth() float64 {
+	cfg := s.plat.FlashConfig()
+	return cfg.ChannelBandwidth() * float64(cfg.Channels)
+}
+
+// slotLogicalPages is one admission slot's logical capacity: the device's
+// non-overprovisioned space divided by the slot count, with one slot of
+// headroom so migration copies and dead pre-trim data cannot wedge GC.
+func slotLogicalPages(cfg Config) int {
+	total := cfg.Flash.TotalBlocks() * cfg.Flash.PagesPerBlock
+	return int(float64(total) * 0.8 / float64(cfg.SlotsPerDevice+1))
+}
+
+// addTenantVSSD creates the tenant's vSSD on this shard (software-isolated
+// across all channels — fleet admission slots, not channel partitions, are
+// the capacity unit) and best-effort prefills it. Prefill maps pages
+// directly, with no simulated I/O, exactly like the single-device harness;
+// migrated tenants skip it because the copy writes are their prefill.
+func (s *Shard) addTenantVSSD(tn *Tenant, cfg Config) *vssd.VSSD {
+	prof := workload.ByName(tn.Workload)
+	chans := make([]int, cfg.Flash.Channels)
+	for i := range chans {
+		chans[i] = i
+	}
+	v := s.plat.AddVSSD(vssd.Config{
+		Name:             fmt.Sprintf("t%d-%s-m%d", tn.ID, tn.Workload, tn.Migrations),
+		Isolation:        vssd.SoftwareIsolated,
+		Channels:         chans,
+		LogicalPages:     slotLogicalPages(cfg),
+		MaxInflightPages: prof.MaxInflightPages,
+	})
+	if tn.Migrations == 0 {
+		prefill(v, cfg.PrefillFrac, tn.rng)
+	}
+	return v
+}
+
+// prefill maps frac of the vSSD's logical space without simulated I/O.
+// Unlike ftl.Tenant.Prefill it never drains the engine (the shard may
+// already be mid-run with live generators), so it stops early instead of
+// stalling when allocation fails.
+func prefill(v *vssd.VSSD, frac float64, rng *sim.RNG) {
+	t := v.Tenant()
+	n := int(float64(t.LogicalPages()) * frac)
+	for lpn := 0; lpn < n; lpn++ {
+		if _, ok := t.AllocatePage(lpn, false); !ok {
+			return
+		}
+	}
+	if n <= 0 {
+		return
+	}
+	for i := 0; i < n/5; i++ {
+		if _, ok := t.AllocatePage(rng.Intn(n), false); !ok {
+			return
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// testConfig is a small rack that still exercises queueing, rejection,
+// and (with Migration on) at least one cold migration.
+func testConfig() Config {
+	return Config{
+		Devices:   4,
+		Seed:      1,
+		Duration:  2 * sim.Second,
+		Placement: PlaceLeastLoaded,
+		Migration: true,
+	}
+}
+
+// render pins every Stats field, plus per-device detail, for byte
+// comparison across worker counts.
+func render(s Stats) string {
+	var b strings.Builder
+	s.Render(&b)
+	for _, d := range s.PerDevice {
+		fmt.Fprintf(&b, "dev %d tenants=%d util=%.4f bytes=%d completed=%d\n",
+			d.Device, d.Tenants, d.MeanUtil, d.BytesMoved, d.Completed)
+	}
+	return b.String()
+}
+
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 4} {
+		cfg := testConfig()
+		cfg.Workers = workers
+		got := render(New(cfg).Run())
+		if workers == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d diverged:\n%s\nvs workers=1:\n%s", workers, got, want)
+		}
+	}
+}
+
+func TestFleetLedgerBalances(t *testing.T) {
+	for _, kind := range Placements() {
+		cfg := testConfig()
+		cfg.Placement = kind
+		st := New(cfg).Run()
+		if !st.Balanced() {
+			t.Errorf("%v: ledger imbalance: %+v", kind, st)
+		}
+		if st.Arrived != cfg.withDefaults().Tenants {
+			t.Errorf("%v: arrived %d of %d tenants", kind, st.Arrived, cfg.withDefaults().Tenants)
+		}
+		if st.Placed == 0 {
+			t.Errorf("%v: nothing placed", kind)
+		}
+		if st.Completed == 0 {
+			t.Errorf("%v: no I/O completed", kind)
+		}
+	}
+}
+
+func TestFleetAdmissionSaturates(t *testing.T) {
+	cfg := testConfig()
+	cfg.Migration = false
+	// Far more tenants than the rack holds: the queue must fill and the
+	// overflow must be rejected, never silently dropped.
+	cfg.Tenants = cfg.Devices*2*4 + 3
+	st := New(cfg).Run()
+	if st.Rejected == 0 {
+		t.Fatalf("oversubscribed rack rejected nothing: %+v", st)
+	}
+	if st.Queued == 0 {
+		t.Fatalf("oversubscribed rack queued nothing: %+v", st)
+	}
+	if !st.Balanced() {
+		t.Fatalf("ledger imbalance: %+v", st)
+	}
+	slots := cfg.Devices * 2 // SlotsPerDevice default
+	if st.Running+st.Migrating > slots {
+		t.Fatalf("running %d tenants on %d slots", st.Running+st.Migrating, slots)
+	}
+}
+
+// newMigrationFleet builds a rack engineered to need migration: a heavy
+// closed-loop batch job lands next to light services, so one device runs
+// hot while another stays cool with a free slot.
+func newMigrationFleet(seed int64) *Fleet {
+	return New(Config{
+		Devices:        3,
+		Seed:           seed,
+		Duration:       3 * sim.Second,
+		Placement:      PlaceRoundRobin,
+		Migration:      true,
+		Workloads:      []string{"TeraSort", "VDI-Web", "MLPrep", "VDI-Web", "VDI-Web", "VDI-Web"},
+		SlotsPerDevice: 3,
+		Tenants:        6,
+		MigrateAfter:   300 * sim.Millisecond,
+		MigrateGap:     0.10,
+	})
+}
+
+func TestFleetMigrationCompletes(t *testing.T) {
+	fl := newMigrationFleet(1)
+	st := fl.Run()
+	if st.MigrationsCompleted == 0 {
+		t.Fatalf("no migration completed: %+v", st)
+	}
+	if st.Downtime <= 0 {
+		t.Fatalf("completed migration charged no downtime: %+v", st)
+	}
+	if !st.Balanced() {
+		t.Fatalf("ledger imbalance after migration: %+v", st)
+	}
+	var migrated *Tenant
+	for _, tn := range fl.Tenants() {
+		if tn.Migrations > 0 {
+			migrated = tn
+			break
+		}
+	}
+	if migrated == nil {
+		t.Fatal("no tenant records a completed migration")
+	}
+	if migrated.Downtime <= 0 {
+		t.Fatal("migrated tenant has zero downtime")
+	}
+	if migrated.State == StateRunning && migrated.vssd == nil {
+		t.Fatal("running migrated tenant has no vSSD")
+	}
+}
+
+func TestFleetMetricsPublished(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig()
+	cfg.Obs = reg
+	st := New(cfg).Run()
+	if st.Epochs == 0 {
+		t.Fatal("no epochs ran")
+	}
+	have := map[string]bool{}
+	for _, n := range reg.Names() {
+		have[n] = true
+	}
+	for _, n := range []string{
+		"fleetio_fleet_devices", "fleetio_fleet_tenants_running",
+		"fleetio_fleet_placements_total", "fleetio_fleet_util_max",
+		"fleetio_fleet_epochs_total",
+	} {
+		if !have[n] {
+			t.Errorf("metric %s not registered (have %v)", n, reg.Names())
+		}
+	}
+}
+
+func TestPlacementParseAndStrings(t *testing.T) {
+	for _, kind := range Placements() {
+		got, err := ParsePlacement(kind.String())
+		if err != nil || got != kind {
+			t.Fatalf("ParsePlacement(%q) = %v, %v", kind.String(), got, err)
+		}
+	}
+	if _, err := ParsePlacement("bogus"); err == nil {
+		t.Fatal("ParsePlacement accepted bogus")
+	}
+}

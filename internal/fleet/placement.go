@@ -1,0 +1,116 @@
+package fleet
+
+import "fmt"
+
+// PlacementKind selects the tenant-to-device assignment baseline.
+type PlacementKind uint8
+
+// Placement baselines. All of them respect fleet admission: a device with
+// no free slot is never chosen, and when no device has room the tenant is
+// queued or rejected by the control plane.
+const (
+	// PlaceLeastLoaded picks the device with the fewest occupied slots,
+	// breaking ties by last-epoch utilization, then by device id.
+	PlaceLeastLoaded PlacementKind = iota
+	// PlaceRoundRobin cycles through devices, skipping full ones.
+	PlaceRoundRobin
+	// PlaceHash maps the tenant id to a device by a seeded hash, probing
+	// linearly past full devices.
+	PlaceHash
+)
+
+func (k PlacementKind) String() string {
+	switch k {
+	case PlaceLeastLoaded:
+		return "least-loaded"
+	case PlaceRoundRobin:
+		return "round-robin"
+	case PlaceHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("PlacementKind(%d)", uint8(k))
+	}
+}
+
+// ParsePlacement maps a flag value to a PlacementKind.
+func ParsePlacement(s string) (PlacementKind, error) {
+	switch s {
+	case "least", "least-loaded", "ll":
+		return PlaceLeastLoaded, nil
+	case "rr", "round-robin", "roundrobin":
+		return PlaceRoundRobin, nil
+	case "hash":
+		return PlaceHash, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown placement %q (want least-loaded, round-robin, or hash)", s)
+}
+
+// Placements lists every baseline, in comparison order.
+func Placements() []PlacementKind {
+	return []PlacementKind{PlaceRoundRobin, PlaceHash, PlaceLeastLoaded}
+}
+
+// place picks a device with a free slot for the tenant, or reports that
+// the rack is full. It runs on the control-plane thread at an epoch
+// boundary, so shard load fields are stable.
+func (f *Fleet) place(tn *Tenant) (int, bool) {
+	n := len(f.shards)
+	switch f.cfg.Placement {
+	case PlaceRoundRobin:
+		for probe := 0; probe < n; probe++ {
+			dev := (f.rrNext + probe) % n
+			if f.hasSlot(dev) {
+				f.rrNext = (dev + 1) % n
+				return dev, true
+			}
+		}
+		return 0, false
+	case PlaceHash:
+		h := hash64(uint64(tn.ID), uint64(f.cfg.Seed))
+		for probe := 0; probe < n; probe++ {
+			dev := int((h + uint64(probe)) % uint64(n))
+			if f.hasSlot(dev) {
+				return dev, true
+			}
+		}
+		return 0, false
+	default: // PlaceLeastLoaded
+		best, ok := -1, false
+		for dev := 0; dev < n; dev++ {
+			if !f.hasSlot(dev) {
+				continue
+			}
+			if !ok || f.lessLoaded(dev, best) {
+				best, ok = dev, true
+			}
+		}
+		return best, ok
+	}
+}
+
+// hasSlot reports whether the device has a free admission slot.
+func (f *Fleet) hasSlot(dev int) bool {
+	return f.shards[dev].slotsUsed < f.cfg.SlotsPerDevice
+}
+
+// lessLoaded orders devices for least-loaded placement: fewest occupied
+// slots, then lowest last-epoch utilization, then lowest id (the id
+// tie-break keeps the choice deterministic).
+func (f *Fleet) lessLoaded(a, b int) bool {
+	sa, sb := f.shards[a], f.shards[b]
+	if sa.slotsUsed != sb.slotsUsed {
+		return sa.slotsUsed < sb.slotsUsed
+	}
+	if sa.epochUtil != sb.epochUtil {
+		return sa.epochUtil < sb.epochUtil
+	}
+	return a < b
+}
+
+// hash64 is a SplitMix64-style scramble of (x, salt).
+func hash64(x, salt uint64) uint64 {
+	z := x + (salt+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

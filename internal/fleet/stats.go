@@ -1,0 +1,196 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// DeviceStats is one shard's roll-up.
+type DeviceStats struct {
+	Device int
+	// Tenants is the occupied admission slots at collection time.
+	Tenants int
+	// MeanUtil is the mean per-epoch device utilization (all traffic,
+	// including GC and migration copies).
+	MeanUtil float64
+	// BytesMoved is host payload bytes completed by the device's vSSDs.
+	BytesMoved int64
+	// Completed is host requests completed.
+	Completed int64
+}
+
+// Stats is the fleet-wide roll-up: the tenant ledger, migration ledger,
+// and aggregate throughput/utilization across every device.
+type Stats struct {
+	Devices int
+	Epochs  int
+
+	// Tenant ledger: Arrived = Running + Migrating + Queued + Rejected,
+	// and Placed = Running + Migrating (no tenant ever departs).
+	Arrived   int
+	Placed    int
+	Running   int
+	Migrating int
+	Queued    int
+	Rejected  int
+
+	// Migration ledger: Started = Completed + InFlight.
+	MigrationsStarted   int
+	MigrationsCompleted int
+	MigrationsInFlight  int
+	// Downtime is total drain+copy virtual time charged to tenants.
+	Downtime sim.Time
+
+	// Completed is host requests finished fleet-wide.
+	Completed int64
+	// AggBandwidthMBps is fleet host payload throughput over the run.
+	AggBandwidthMBps float64
+	// AvgUtil is host bandwidth over fleet peak bandwidth for the run;
+	// MinUtil/MaxUtil are the spread of per-device mean utilization.
+	AvgUtil float64
+	MinUtil float64
+	MaxUtil float64
+
+	PerDevice []DeviceStats
+}
+
+// Balanced reports whether the tenant and migration ledgers close: every
+// arrival is accounted for exactly once, every placement is still alive,
+// and every started migration either completed or is in flight.
+func (s Stats) Balanced() bool {
+	return s.Arrived == s.Running+s.Migrating+s.Queued+s.Rejected &&
+		s.Placed == s.Running+s.Migrating &&
+		s.MigrationsStarted == s.MigrationsCompleted+s.MigrationsInFlight
+}
+
+// Render prints the roll-up as the deterministic fleet table used by
+// FigureFleet and the determinism tests.
+func (s Stats) Render(w io.Writer) {
+	fmt.Fprintf(w, "devices=%d epochs=%d\n", s.Devices, s.Epochs)
+	fmt.Fprintf(w, "tenants: arrived=%d placed=%d running=%d migrating=%d queued=%d rejected=%d\n",
+		s.Arrived, s.Placed, s.Running, s.Migrating, s.Queued, s.Rejected)
+	fmt.Fprintf(w, "migrations: started=%d completed=%d inflight=%d downtime=%.1fms\n",
+		s.MigrationsStarted, s.MigrationsCompleted, s.MigrationsInFlight, float64(s.Downtime)/1e6)
+	fmt.Fprintf(w, "fleet: completed=%d aggBW=%.1fMB/s avgUtil=%.1f%% devUtil min/max=%.1f%%/%.1f%%\n",
+		s.Completed, s.AggBandwidthMBps, s.AvgUtil*100, s.MinUtil*100, s.MaxUtil*100)
+	if !s.Balanced() {
+		fmt.Fprintf(w, "!! ledger imbalance: arrived=%d running=%d migrating=%d queued=%d rejected=%d started=%d done=%d inflight=%d\n",
+			s.Arrived, s.Running, s.Migrating, s.Queued, s.Rejected,
+			s.MigrationsStarted, s.MigrationsCompleted, s.MigrationsInFlight)
+	}
+}
+
+// fleetMetrics is the fleetio_fleet_* series catalogue, refreshed by the
+// control plane at every epoch boundary (single-threaded, so plain Sets).
+type fleetMetrics struct {
+	devices, running, queued   *obs.Metric
+	rejected, placed           *obs.Metric
+	migStarted, migDone        *obs.Metric
+	migDowntime                *obs.Metric
+	bandwidth                  *obs.Metric
+	utilMean, utilMin, utilMax *obs.Metric
+	simTime, epochs            *obs.Metric
+}
+
+func newFleetMetrics(reg *obs.Registry) *fleetMetrics {
+	return &fleetMetrics{
+		devices:     reg.Gauge("fleetio_fleet_devices", "Device shards in the fleet."),
+		running:     reg.Gauge("fleetio_fleet_tenants_running", "Tenants currently serving I/O."),
+		queued:      reg.Gauge("fleetio_fleet_tenants_queued", "Tenants waiting for a device slot."),
+		rejected:    reg.Counter("fleetio_fleet_tenants_rejected_total", "Tenants turned away by fleet admission."),
+		placed:      reg.Counter("fleetio_fleet_placements_total", "Tenant placements performed."),
+		migStarted:  reg.Counter("fleetio_fleet_migrations_started_total", "Cold migrations started."),
+		migDone:     reg.Counter("fleetio_fleet_migrations_completed_total", "Cold migrations completed."),
+		migDowntime: reg.Counter("fleetio_fleet_migration_downtime_seconds", "Total drain+copy downtime charged to tenants."),
+		bandwidth:   reg.Gauge("fleetio_fleet_bandwidth_bytes_per_second", "Fleet device throughput over the last epoch."),
+		utilMean:    reg.Gauge("fleetio_fleet_util_mean", "Mean per-device utilization over the last epoch."),
+		utilMin:     reg.Gauge("fleetio_fleet_util_min", "Coolest device's utilization over the last epoch."),
+		utilMax:     reg.Gauge("fleetio_fleet_util_max", "Hottest device's utilization over the last epoch."),
+		simTime:     reg.Gauge("fleetio_fleet_sim_time_seconds", "Fleet-wide virtual clock."),
+		epochs:      reg.Counter("fleetio_fleet_epochs_total", "Synchronization epochs completed."),
+	}
+}
+
+// publishMetrics refreshes the fleetio_fleet_* series from control-plane
+// state. Called only on the control-plane thread.
+func (f *Fleet) publishMetrics(now sim.Time) {
+	m := f.metrics
+	m.devices.Set(float64(len(f.shards)))
+	var running, migrating int
+	for _, tn := range f.tenants[:f.nextArr] {
+		switch tn.State {
+		case StateRunning:
+			running++
+		case StateDraining, StateCopying:
+			migrating++
+		}
+	}
+	m.running.Set(float64(running + migrating))
+	m.queued.Set(float64(len(f.queue)))
+	m.rejected.Set(float64(f.rejected))
+	m.placed.Set(float64(f.placed))
+	m.migStarted.Set(float64(f.migStarted))
+	m.migDone.Set(float64(f.migDone))
+	m.migDowntime.Set(float64(f.migDowntime) / 1e9)
+	var sum, min, max float64
+	min, max = 1e18, -1e18
+	for _, u := range f.utilScratch {
+		sum += u
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	n := float64(len(f.utilScratch))
+	m.utilMean.Set(sum / n)
+	m.utilMin.Set(min)
+	m.utilMax.Set(max)
+	// Per-device utilizations times one device's peak bandwidth sum to
+	// the fleet's throughput over the epoch (all devices share a geometry).
+	m.bandwidth.Set(sum * f.shards[0].peakBandwidth())
+	m.simTime.Set(float64(now) / 1e9)
+	m.epochs.Set(float64(f.epochs))
+}
+
+// forEach runs fn(i) for every i in [0,n) on at most workers goroutines
+// (0 → GOMAXPROCS, 1 → inline). It is the shard fan-out of the epoch
+// barrier; each fn touches only its own shard, so scheduling order cannot
+// change results.
+func forEach(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

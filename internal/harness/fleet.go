@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fleet"
+)
+
+// DefaultFleetDevices sizes FigureFleet's rack when Options.FleetDevices
+// is zero.
+const DefaultFleetDevices = 64
+
+// fleetConfig maps harness Options onto a rack-scale fleet run: one device
+// shard per FleetDevices, migration on, the experiment seed deriving every
+// shard and tenant stream, and the shard fan-out bounded by Workers.
+func fleetConfig(placement fleet.PlacementKind, opt Options) fleet.Config {
+	cfg := fleet.Config{
+		Devices:   opt.FleetDevices,
+		Seed:      opt.Seed,
+		Window:    opt.Window,
+		Duration:  opt.Duration,
+		Placement: placement,
+		Migration: true,
+		Workers:   opt.Workers,
+	}
+	if cfg.Devices <= 0 {
+		cfg.Devices = DefaultFleetDevices
+	}
+	if opt.Obs != nil {
+		cfg.Obs = opt.Obs.Registry()
+	}
+	return cfg
+}
+
+// FleetScenario runs one rack under the given placement baseline and
+// returns the fleet roll-up. The run is byte-identical at any
+// Options.Workers setting.
+func FleetScenario(placement fleet.PlacementKind, opt Options) fleet.Stats {
+	return fleet.New(fleetConfig(placement, opt)).Run()
+}
+
+// FigureFleet renders the rack-scale scenario: every placement baseline
+// over the same arrival sequence, with fleet admission and cold migration
+// live, so the placement policies differ only in where tenants land.
+// Output is deterministic for a given seed at any worker count.
+func FigureFleet(w io.Writer, opt Options) {
+	devices := opt.FleetDevices
+	if devices <= 0 {
+		devices = DefaultFleetDevices
+	}
+	fmt.Fprintf(w, "== Fleet: %d-device rack, placement baselines under admission + cold migration (seed=%d) ==\n",
+		devices, opt.Seed)
+	for _, p := range fleet.Placements() {
+		st := FleetScenario(p, opt)
+		fmt.Fprintf(w, "placement=%s\n", p)
+		st.Render(w)
+	}
+}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/sim"
+)
+
+func fleetTestOptions() Options {
+	opt := DefaultOptions()
+	opt.Duration = 1500 * sim.Millisecond
+	opt.FleetDevices = 8
+	return opt
+}
+
+// TestFigureFleetDeterministicAcrossWorkers is the fleet determinism
+// oracle at the figure level: the whole rendered scenario — every
+// placement baseline, every counter and float — must be byte-identical
+// whether shards advance sequentially or fan out over the worker pool.
+func TestFigureFleetDeterministicAcrossWorkers(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 4} {
+		opt := fleetTestOptions()
+		opt.Workers = workers
+		var b strings.Builder
+		FigureFleet(&b, opt)
+		if workers == 1 {
+			want = b.String()
+			continue
+		}
+		if b.String() != want {
+			t.Fatalf("FigureFleet diverged at workers=%d:\n%s\nvs workers=1:\n%s",
+				workers, b.String(), want)
+		}
+	}
+	if !strings.Contains(want, "placement=least-loaded") {
+		t.Fatalf("FigureFleet missing placement sections:\n%s", want)
+	}
+}
+
+// TestFleetScenarioLedger checks the roll-up the figure prints actually
+// balances: every arrival accounted for, every started migration resolved.
+func TestFleetScenarioLedger(t *testing.T) {
+	for _, p := range fleet.Placements() {
+		st := FleetScenario(p, fleetTestOptions())
+		if !st.Balanced() {
+			t.Errorf("%v: ledger imbalance: %+v", p, st)
+		}
+		if st.Devices != 8 {
+			t.Errorf("%v: ran %d devices, want 8", p, st.Devices)
+		}
+		if st.Completed == 0 {
+			t.Errorf("%v: no I/O completed", p)
+		}
+	}
+}

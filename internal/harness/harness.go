@@ -107,6 +107,9 @@ type Options struct {
 	// input width, so it is skipped when a Pretrained network (built at
 	// the base width) is supplied.
 	ErrorRateState bool
+	// FleetDevices sizes the rack for FleetScenario/FigureFleet
+	// (0 → DefaultFleetDevices). Single-device experiments ignore it.
+	FleetDevices int
 }
 
 // DefaultOptions returns fast, deterministic settings for tests/benches.

@@ -11,11 +11,14 @@ import (
 // randomness.
 type RNG struct {
 	r *rand.Rand
+	// seed is the stream's origin, kept so Stream can derive shard streams
+	// as a pure function of (seed, shardID) without consuming stream state.
+	seed int64
 }
 
 // NewRNG returns a stream seeded with seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	return &RNG{r: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // Split derives an independent child stream. The child's sequence is a pure
@@ -30,10 +33,29 @@ func (g *RNG) Split(label int64) *RNG {
 	return NewRNG(int64(z))
 }
 
+// Stream derives the shardID-th isolated child stream. Unlike Split it is
+// a pure function of the stream's seed and the shard id — it consumes no
+// parent state, so shards can be built in any order (or concurrently from
+// per-shard goroutines holding their own result) without perturbing the
+// parent sequence or each other. Two Stream calls with the same id return
+// streams that replay identically.
+func (g *RNG) Stream(shardID int64) *RNG {
+	// SplitMix64-style scramble of (seed, shardID); the +1 keeps shard 0 of
+	// seed 0 away from the all-zero fixed point.
+	z := uint64(g.seed) + (uint64(shardID)+1)*0xD1B54A32D192ED03
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return NewRNG(int64(z))
+}
+
 // Reseed rewinds the stream to the deterministic sequence of seed without
 // allocating. Allocation guards use it to replay an identical load so
 // slice high-water marks from warm-up are never exceeded while measuring.
-func (g *RNG) Reseed(seed int64) { g.r.Seed(seed) }
+func (g *RNG) Reseed(seed int64) {
+	g.r.Seed(seed)
+	g.seed = seed
+}
 
 // Float64 returns a uniform value in [0,1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }

@@ -70,6 +70,64 @@ func TestReseedStreamIsolation(t *testing.T) {
 	}
 }
 
+// TestStreamIsPureFunctionOfSeed pins Stream's contract: the child is a
+// pure function of (stream seed, shard id) — call order, parent
+// consumption, and other Stream calls must not change it, and Stream must
+// not perturb the parent's own sequence.
+func TestStreamIsPureFunctionOfSeed(t *testing.T) {
+	// Same seed + id → same stream, regardless of when it is derived.
+	fresh := NewRNG(11)
+	want := drawSequence(fresh.Stream(3), 64)
+	consumed := NewRNG(11)
+	drawSequence(consumed, 500)
+	_ = consumed.Stream(9)
+	if !sequencesEqual(drawSequence(consumed.Stream(3), 64), want) {
+		t.Fatal("Stream(3) depends on parent consumption or prior Stream calls")
+	}
+	// Stream consumes no parent state.
+	p1, p2 := NewRNG(13), NewRNG(13)
+	for i := int64(0); i < 32; i++ {
+		p1.Stream(i)
+	}
+	if !sequencesEqual(drawSequence(p1, 64), drawSequence(p2, 64)) {
+		t.Fatal("Stream perturbed the parent sequence")
+	}
+}
+
+// TestStreamShardIsolation checks that per-shard streams are mutually
+// independent: draining one shard's stream leaves every other shard's
+// sequence untouched, and distinct shard ids yield distinct sequences.
+func TestStreamShardIsolation(t *testing.T) {
+	parent := NewRNG(21)
+	want := make([][]int64, 8)
+	for id := range want {
+		want[id] = drawSequence(parent.Stream(int64(id)), 64)
+	}
+	for id := 1; id < 8; id++ {
+		if sequencesEqual(want[0], want[id]) {
+			t.Fatalf("shard 0 and shard %d streams are identical", id)
+		}
+	}
+	// Interleave: drain shard 0 heavily between other shards' draws.
+	streams := make([]*RNG, 8)
+	for id := range streams {
+		streams[id] = parent.Stream(int64(id))
+	}
+	for i := 0; i < 100; i++ {
+		streams[0].Int63()
+	}
+	for id := 1; id < 8; id++ {
+		if !sequencesEqual(drawSequence(streams[id], 64), want[id]) {
+			t.Fatalf("draining shard 0 perturbed shard %d", id)
+		}
+	}
+	// Reseed restores the original derivation base.
+	parent.Reseed(21)
+	if !sequencesEqual(drawSequence(parent.Stream(5), 64), want[5]) {
+		t.Fatal("Stream after Reseed diverged from the original derivation")
+	}
+}
+
 // TestSplitChildrenIndependent checks that sibling streams differ and that
 // the same (parent seed, call order, label) always yields the same child.
 func TestSplitChildrenIndependent(t *testing.T) {

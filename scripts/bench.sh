@@ -16,8 +16,9 @@
 #
 # Two passes keep the wall time sane: the microbenchmarks (simulator core,
 # NN kernels, §4.7 overheads) iterate for $BENCHTIME, while the figure
-# regeneration benchmarks at the repo root simulate whole experiments and
-# run once each (-benchtime=1x).
+# regeneration benchmarks at the repo root — including BenchmarkFigureFleet,
+# the rack-scale fleet run reporting aggregate simulated IOPS/s — simulate
+# whole experiments and run once each (-benchtime=1x).
 set -eu
 
 cd "$(dirname "$0")/.."

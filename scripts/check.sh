@@ -7,8 +7,10 @@
 # harness's parallel run fan-out, and the NAND fault injector),
 # allocation-regression guards on the per-I/O datapath, boxing/dead-import
 # grep gates, a fault-enabled determinism gate (same seed => byte-identical
-# scenario output at any worker count), and a one-iteration benchmark smoke
-# pass that fails on any steady-state device allocation.
+# scenario output at any worker count), a rack-scale fleet gate (64-device
+# scenario byte-identical at any worker count, with at least one completed
+# migration), and a one-iteration benchmark smoke pass that fails on any
+# steady-state device allocation.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -65,7 +67,7 @@ if grep -n 'interface{}' internal/flash/*.go internal/sim/*.go internal/ftl/*.go
 fi
 
 echo "== go test -race (concurrency-heavy packages)"
-go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/... ./internal/obs/... ./internal/sim/... ./internal/flash/... ./internal/ftl/... ./internal/fault/...
+go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/... ./internal/obs/... ./internal/sim/... ./internal/flash/... ./internal/ftl/... ./internal/fault/... ./internal/fleet/...
 
 echo "== go test -race -tags=flashdebug (op pool poison mode)"
 # flashdebug poisons every recycled Op on release so a use-after-release
@@ -98,6 +100,25 @@ go run ./cmd/fleetbench -fig faults -seconds 2 -warmup 1 -parallel 4 > "$faults4
 if ! cmp -s "$faults1" "$faults4"; then
     echo "fault scenario output differs between -parallel 1 and -parallel 4:" >&2
     diff "$faults1" "$faults4" >&2 || true
+    exit 1
+fi
+
+echo "== fleet determinism (64 devices, same seed, 1 vs 4 workers)"
+# The rack-scale scenario advances device shards concurrently between
+# epoch barriers; a 64-device figure must be byte-identical at any worker
+# count, and must demonstrate at least one completed cold migration.
+fleet1=$(mktemp) && fleet4=$(mktemp)
+trap 'rm -f "$faults1" "$faults4" "$fleet1" "$fleet4"' EXIT
+go run ./cmd/fleetbench -fig fleet -fleet 64 -seconds 2 -parallel 1 > "$fleet1"
+go run ./cmd/fleetbench -fig fleet -fleet 64 -seconds 2 -parallel 4 > "$fleet4"
+if ! cmp -s "$fleet1" "$fleet4"; then
+    echo "fleet scenario output differs between -parallel 1 and -parallel 4:" >&2
+    diff "$fleet1" "$fleet4" >&2 || true
+    exit 1
+fi
+if ! grep -q 'migrations: started=[1-9][0-9]* completed=[1-9]' "$fleet1"; then
+    echo "64-device fleet scenario completed no migrations:" >&2
+    cat "$fleet1" >&2
     exit 1
 fi
 
