@@ -151,6 +151,30 @@ func BenchmarkFigureFleet(b *testing.B) {
 	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "simIOPS/s")
 }
 
+// BenchmarkFigureWorkloads runs the temporal-realism ladder — steady,
+// diurnal, bursty, and trace replay on one pair under FleetIO, each run
+// classified by the workload-type model — and reports simulated request
+// throughput per wall-second across the whole ladder.
+func BenchmarkFigureWorkloads(b *testing.B) {
+	opt := benchPretrained(b)
+	mix := harness.Pair("YCSB", "TeraSort")
+	harness.TypeModel() // train the clusterer outside the timed loop
+	var completed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := harness.WorkloadScenario(mix, opt)
+		for _, row := range rows {
+			if len(row.TypeLabels) != len(row.Result.Tenants) {
+				b.Fatalf("%s: %d labels for %d tenants", row.Level, len(row.TypeLabels), len(row.Result.Tenants))
+			}
+			for _, t := range row.Result.Tenants {
+				completed += t.Completed
+			}
+		}
+	}
+	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "simIOPS/s")
+}
+
 // --- §4.7 overhead microbenchmarks -----------------------------------
 
 func overheadNet() (*rl.PPO, []float64) {

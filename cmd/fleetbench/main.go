@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	fleetbench [-fig all|2|3|6|10|14|15|16|17|faults|fleet|overhead]
+//	fleetbench [-fig all|2|3|6|10|14|15|16|17|faults|fleet|workloads|overhead]
 //	           [-seconds N] [-model file] [-parallel N] [-faults spec] [-fleet N]
+//	           [-workload shape] [-trace file]
 //
 // Figures 10–13 share one set of runs and are printed together.
 //
@@ -19,6 +20,12 @@
 // -fig fleet runs the rack-scale scenario — -fleet N devices (default 64)
 // under one virtual clock, comparing the placement baselines with fleet
 // admission and cold migration live.
+//
+// -fig workloads sweeps the temporal-realism ladder (steady, diurnal,
+// bursty, trace replay) plus a cohort-churn rack with live traffic typing
+// (see docs/WORKLOADS.md). -workload overlays one of those shapes on the
+// other figures' runs; -trace substitutes a recorded block trace (binary
+// or CSV) for the synthetic replay source.
 package main
 
 import (
@@ -28,16 +35,19 @@ import (
 	"os"
 
 	"repro/internal/fault"
+	"repro/internal/flash"
 	"repro/internal/harness"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fleetbench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: all, 2, 3, 6, 10, 14, 15, 16, 17, faults, fleet, overhead")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 2, 3, 6, 10, 14, 15, 16, 17, faults, fleet, workloads, overhead")
 	seconds := flag.Float64("seconds", 8, "measured virtual seconds per run")
 	warmup := flag.Float64("warmup", 4, "virtual warmup seconds per run")
 	windowMs := flag.Int("window", 250, "decision window in milliseconds")
@@ -47,11 +57,17 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size: experiment runs, or fleet shards per epoch (0 = one per CPU, 1 = sequential)")
 	faults := flag.String("faults", "", "NAND fault injection: off, light, heavy, or k=v list (pfail=,efail=,rretry=,tmo=,maxretries=,rstep=,stall=,seed=)")
 	fleetN := flag.Int("fleet", 0, "device count for -fig fleet (0 = 64)")
+	workloadFlag := flag.String("workload", "steady", "temporal arrival shape: steady, diurnal, bursty, or replay")
+	traceFile := flag.String("trace", "", "block trace (binary or CSV) used as the replay source")
 	flag.Parse()
 
 	faultCfg, err := fault.ParseSpec(*faults)
 	if err != nil {
 		log.Fatalf("parsing -faults: %v", err)
+	}
+	shape, err := workload.ParseShape(*workloadFlag)
+	if err != nil {
+		log.Fatalf("parsing -workload: %v", err)
 	}
 
 	if *model != "" {
@@ -74,6 +90,20 @@ func main() {
 		log.Printf("injecting NAND faults: %s", *faults)
 	}
 	opt.FleetDevices = *fleetN
+	opt.WorkloadShape = shape
+	if *traceFile != "" {
+		recs, err := trace.LoadFile(*traceFile, flash.DefaultConfig().PageSize)
+		if err != nil {
+			log.Fatalf("loading -trace: %v", err)
+		}
+		opt.ReplayRecords = recs
+		if *fig != "workloads" {
+			// The workloads figure sweeps every shape itself; elsewhere a
+			// supplied trace implies the replay shape.
+			opt.WorkloadShape = workload.ShapeReplay
+		}
+		log.Printf("replaying %d trace records from %s", len(recs), *traceFile)
+	}
 	if *fig != "fleet" {
 		// The fleet scenario has no RL policy to seed; skip pretraining.
 		opt = harness.WithPretrained(opt)
@@ -135,6 +165,8 @@ func main() {
 		harness.FigureFaults(w, harness.EvalPairs()[:2], opt)
 	case "fleet":
 		harness.FigureFleet(w, opt)
+	case "workloads":
+		harness.FigureWorkloads(w, harness.EvalPairs()[:2], opt)
 	case "overhead":
 		harness.Overheads(w)
 	default:

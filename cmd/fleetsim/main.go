@@ -4,13 +4,21 @@
 // Usage:
 //
 //	fleetsim -mix YCSB,TeraSort -policy fleetio -seconds 10
-//	fleetsim -http :8080 -trace decisions.jsonl
+//	fleetsim -http :8080 -decisions decisions.jsonl
+//	fleetsim -workload bursty -seconds 10
+//	fleetsim -trace trace.bin -seconds 10
 //	fleetsim -fleet 64 -placement least-loaded -seconds 4
 //
 // With -http the run exports live telemetry on /metrics (Prometheus text
 // format) and the pprof handlers on /debug/pprof/, and keeps serving after
-// the results print until interrupted. -trace writes every recorded
+// the results print until interrupted. -decisions writes every recorded
 // decision event as JSONL (see docs/OBSERVABILITY.md for both schemas).
+//
+// -workload overlays a temporal shape (steady, diurnal, bursty, or replay)
+// on every tenant's arrival process; -trace replays a recorded block trace
+// (binary or CSV, converted on the fly — see docs/WORKLOADS.md) through
+// each tenant instead of the synthetic generators. SLO calibration always
+// runs on the steady shape, matching §3.3.1.
 //
 // -parallel bounds the worker pool: independent harness runs in flight at
 // once, or, with -fleet, device shards advanced concurrently per epoch
@@ -22,7 +30,8 @@
 // -fleet N switches to the rack-scale simulation: N devices under one
 // virtual clock with fleet admission and cold migration, the placement
 // baseline chosen by -placement (least-loaded, round-robin, or hash).
-// -mix/-policy/-faults/-trace apply only to single-device runs.
+// -mix/-policy/-faults/-trace/-workload/-decisions apply only to
+// single-device runs.
 package main
 
 import (
@@ -34,10 +43,13 @@ import (
 	"strings"
 
 	"repro/internal/fault"
+	"repro/internal/flash"
 	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -48,7 +60,9 @@ func main() {
 	seconds := flag.Float64("seconds", 8, "measured virtual seconds")
 	seed := flag.Int64("seed", 1, "seed")
 	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof/ on this address (e.g. :8080)")
-	tracePath := flag.String("trace", "", "write decision events to this JSONL file")
+	decisionsPath := flag.String("decisions", "", "write decision events to this JSONL file")
+	workloadFlag := flag.String("workload", "steady", "temporal arrival shape: steady, diurnal, bursty, or replay")
+	traceFile := flag.String("trace", "", "replay this block trace (binary or CSV) through every tenant")
 	parallel := flag.Int("parallel", 0, "worker pool size: harness runs, or fleet shards per epoch (0 = one per CPU, 1 = sequential)")
 	faults := flag.String("faults", "", "NAND fault injection: off, light, heavy, or k=v list (pfail=,efail=,rretry=,tmo=,maxretries=,rstep=,stall=,seed=)")
 	fleetN := flag.Int("fleet", 0, "run a rack-scale fleet of N devices instead of a single-device experiment")
@@ -58,6 +72,10 @@ func main() {
 	faultCfg, err := fault.ParseSpec(*faults)
 	if err != nil {
 		log.Fatalf("parsing -faults: %v", err)
+	}
+	shape, err := workload.ParseShape(*workloadFlag)
+	if err != nil {
+		log.Fatalf("parsing -workload: %v", err)
 	}
 
 	if *fleetN > 0 {
@@ -110,6 +128,16 @@ func main() {
 	opt.Seed = *seed
 	opt.Duration = sim.Time(*seconds * 1e9)
 	opt.Workers = *parallel
+	opt.WorkloadShape = shape
+	if *traceFile != "" {
+		recs, err := trace.LoadFile(*traceFile, flash.DefaultConfig().PageSize)
+		if err != nil {
+			log.Fatalf("loading -trace: %v", err)
+		}
+		opt.ReplayRecords = recs
+		opt.WorkloadShape = workload.ShapeReplay
+		log.Printf("replaying %d trace records through every tenant", len(recs))
+	}
 	if faultCfg.Enabled() {
 		opt.Faults = &faultCfg
 		opt.ErrorRateState = kind == harness.PolFleetIO
@@ -120,7 +148,7 @@ func main() {
 	}
 
 	var srv *obs.Server
-	if *httpAddr != "" || *tracePath != "" {
+	if *httpAddr != "" || *decisionsPath != "" {
 		opt.Obs = obs.NewObserver()
 	}
 	if *httpAddr != "" {
@@ -155,19 +183,19 @@ func main() {
 			fst.Retired, fst.Remapped, fst.WriteRetries, fst.GCRetryPrograms, fst.GCRetrySkips, fst.Balanced())
 	}
 
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
+	if *decisionsPath != "" {
+		f, err := os.Create(*decisionsPath)
 		if err != nil {
-			log.Fatalf("creating -trace file: %v", err)
+			log.Fatalf("creating -decisions file: %v", err)
 		}
 		rec := opt.Obs.Recorder()
 		if err := rec.WriteJSONL(f); err != nil {
-			log.Fatalf("writing -trace file: %v", err)
+			log.Fatalf("writing -decisions file: %v", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatalf("closing -trace file: %v", err)
+			log.Fatalf("closing -decisions file: %v", err)
 		}
-		log.Printf("wrote %d decision events to %s", rec.Len(), *tracePath)
+		log.Printf("wrote %d decision events to %s", rec.Len(), *decisionsPath)
 	}
 	if srv != nil {
 		// Keep the endpoint alive so the final metric values stay

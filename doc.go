@@ -16,8 +16,11 @@
 //     GAE, Adam) and the FleetIO multi-agent policy: Table 1 states,
 //     Table 2 actions, the Eq. 1/Eq. 2 rewards, and §3.4 workload-type
 //     reward fine-tuning via k-means clustering;
-//   - synthetic generators for the paper's nine cloud workloads and an
-//     experiment harness that regenerates every measured figure;
+//   - synthetic generators for the paper's nine cloud workloads — with
+//     temporal overlays (diurnal harmonics, MMPP bursts) and deterministic
+//     replay of recorded block traces (binary or MSR-/Alibaba-style CSV;
+//     docs/WORKLOADS.md is the reference) — and an experiment harness
+//     that regenerates every measured figure;
 //   - an observability layer (internal/obs): per-vSSD decision tracing
 //     with JSONL export, virtual-time telemetry sampling, and live
 //     Prometheus-format /metrics plus pprof endpoints on every binary
@@ -39,12 +42,14 @@
 // # Reproducing the paper
 //
 // cmd/fleetbench regenerates every figure; cmd/fleettrain pretrains the
-// PPO model; cmd/fleetcluster reproduces the workload clustering; and
-// cmd/fleetsim runs one collocation interactively. bench_test.go holds a
+// PPO model; cmd/fleetcluster reproduces the workload clustering;
+// cmd/fleetsim runs one collocation interactively; and cmd/fleettrace
+// converts, inspects, and synthesizes block traces. bench_test.go holds a
 // testing.B benchmark per figure plus the §4.7 overhead microbenchmarks.
-// All four binaries accept -http to serve live /metrics and pprof while
-// they run; fleetsim additionally accepts -trace to dump the decision
-// log as JSONL.
+// The simulator binaries accept -http to serve live /metrics and pprof
+// while they run, and -workload/-trace to overlay a temporal arrival
+// shape or replay a recorded trace; fleetsim additionally accepts
+// -decisions to dump the decision log as JSONL.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // paper-vs-reproduction numbers.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -141,6 +142,22 @@ func (m *Model) Classify(features []float64) (cluster int, known bool) {
 	c := m.KM.Assign(p)
 	d := math.Sqrt(sqDist(p, m.KM.Centroids[c]))
 	return c, d <= m.MaxDist[c]*1.5
+}
+
+// Label names a cluster for deterministic human-readable reporting:
+// "C<idx>:<anchor>", where anchor is the alphabetically first training
+// workload that landed in the cluster ("empty" if none did), with a "?"
+// suffix when the classified point fell outside the known region.
+func (m *Model) Label(cluster int, known bool) string {
+	anchor := "empty"
+	if cluster >= 0 && cluster < len(m.ClusterWorkloads) && len(m.ClusterWorkloads[cluster]) > 0 {
+		anchor = m.ClusterWorkloads[cluster][0]
+	}
+	s := fmt.Sprintf("C%d:%s", cluster, anchor)
+	if !known {
+		s += "?"
+	}
+	return s
 }
 
 // ClassifyTrace classifies a window of records against a logical space of

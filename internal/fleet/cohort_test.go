@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// cohortConfig is a small rack in cohort mode: short sessions so several
+// tenants depart mid-run and their slots recycle to queued arrivals.
+func cohortConfig() Config {
+	cfg := testConfig()
+	cfg.Duration = 3 * sim.Second
+	cfg.Lifetime = 800 * sim.Millisecond
+	return cfg
+}
+
+func TestCohortDeparturesFreeSlots(t *testing.T) {
+	st := New(cohortConfig()).Run()
+	if st.Departed == 0 {
+		t.Fatalf("no tenant departed in cohort mode: %+v", st)
+	}
+	if !st.Balanced() {
+		t.Fatalf("ledger imbalance with departures: %+v", st)
+	}
+	// The explicit five-term ledger, not just Balanced(): every arrival is
+	// accounted for exactly once even as slots churn.
+	if st.Arrived != st.Running+st.Migrating+st.Queued+st.Rejected+st.Departed {
+		t.Fatalf("arrived=%d != running=%d+migrating=%d+queued=%d+rejected=%d+departed=%d",
+			st.Arrived, st.Running, st.Migrating, st.Queued, st.Rejected, st.Departed)
+	}
+	if st.Placed != st.Running+st.Migrating+st.Departed {
+		t.Fatalf("placed=%d != running=%d+migrating=%d+departed=%d",
+			st.Placed, st.Running, st.Migrating, st.Departed)
+	}
+}
+
+func TestCohortSlotsRecycle(t *testing.T) {
+	// With everyone departing quickly, placements must exceed the rack's
+	// slot capacity: freed slots get reused by later arrivals.
+	cfg := cohortConfig()
+	cfg.Migration = false
+	cfg.Lifetime = 300 * sim.Millisecond
+	cfg.Tenants = 24
+	st := New(cfg).Run()
+	capacity := cfg.Devices * cfg.withDefaults().SlotsPerDevice
+	if st.Placed <= capacity {
+		t.Fatalf("placed %d <= capacity %d: slots never recycled (departed=%d)",
+			st.Placed, capacity, st.Departed)
+	}
+	if !st.Balanced() {
+		t.Fatalf("ledger imbalance: %+v", st)
+	}
+}
+
+func TestCohortDeterministicAcrossWorkers(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 4} {
+		cfg := cohortConfig()
+		cfg.Workers = workers
+		got := render(New(cfg).Run())
+		if workers == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d diverged:\n%s\nvs workers=1:\n%s", workers, got, want)
+		}
+	}
+}
+
+func TestCohortDepartedStateInvariants(t *testing.T) {
+	f := New(cohortConfig())
+	f.Run()
+	for _, tn := range f.Tenants() {
+		if tn.State != StateDeparted {
+			continue
+		}
+		if tn.Device != -1 || tn.vssd != nil || tn.gen != nil {
+			t.Fatalf("departed tenant %d still bound: dev=%d", tn.ID, tn.Device)
+		}
+	}
+	// Slot accounting closes: each shard's slotsUsed matches its residents
+	// plus reserved migration destinations (a migrating tenant stays in
+	// the source's resident list until cutover, while its destination
+	// slot is already reserved).
+	for _, sh := range f.Shards() {
+		reserved := 0
+		for _, m := range f.migs {
+			if m.dst == sh.id {
+				reserved++
+			}
+		}
+		if sh.slotsUsed != len(sh.resident)+reserved {
+			t.Fatalf("dev %d: slotsUsed=%d residents=%d reserved=%d",
+				sh.id, sh.slotsUsed, len(sh.resident), reserved)
+		}
+	}
+}
+
+func TestFleetTypeCounts(t *testing.T) {
+	// Train a tiny model on the fleet's own workload cycle and check the
+	// fleet's traffic classification produces labels for traced tenants.
+	names := DefaultWorkloadCycle()
+	pageSize := DefaultDeviceConfig().PageSize
+	ds := cluster.BuildDataset(names, 4, cluster.WindowSize/10, pageSize, 7)
+	model := cluster.Train(ds, 3, 8)
+
+	cfg := testConfig()
+	cfg.TypeModel = model
+	st := New(cfg).Run()
+	if len(st.TypeCounts) == 0 {
+		t.Fatalf("no workload types classified: %+v", st)
+	}
+	total := 0
+	for i, tc := range st.TypeCounts {
+		if tc.Count <= 0 || tc.Label == "" {
+			t.Fatalf("bad type count %+v", tc)
+		}
+		if i > 0 && st.TypeCounts[i-1].Label >= tc.Label {
+			t.Fatalf("type counts not sorted: %+v", st.TypeCounts)
+		}
+		total += tc.Count
+	}
+	if total > st.Placed {
+		t.Fatalf("classified %d tenants but only %d placed", total, st.Placed)
+	}
+	// The cycle mixes open-loop services with closed-loop batch jobs, so
+	// the model must see at least two distinct traffic types.
+	if len(st.TypeCounts) < 2 {
+		t.Fatalf("only one traffic type observed: %+v", st.TypeCounts)
+	}
+}
+
+func TestCohortZeroLifetimeUnchanged(t *testing.T) {
+	// Lifetime=0 must be byte-identical to the pre-cohort behavior: no
+	// extra RNG draws, no departures.
+	st := New(testConfig()).Run()
+	if st.Departed != 0 {
+		t.Fatalf("departures with Lifetime=0: %+v", st)
+	}
+}

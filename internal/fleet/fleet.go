@@ -33,10 +33,12 @@ package fleet
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/flash"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vssd"
 	"repro/internal/workload"
 )
@@ -85,6 +87,16 @@ type Config struct {
 	// MaxMigrations bounds concurrently in-flight migrations
 	// (0 → Devices/8+1).
 	MaxMigrations int
+
+	// Lifetime, when > 0, gives each placed tenant an exponentially
+	// distributed session length (mean Lifetime) drawn from its private
+	// stream: the cohort-churn mode, where tenants depart mid-run and
+	// release their slots back to admission. 0 disables departures.
+	Lifetime sim.Time
+	// TypeModel, when non-nil, attaches a trace recorder to every tenant
+	// and classifies each tenant's observed traffic at Collect time into
+	// Stats.TypeCounts (the clusterer's workload-type view of the fleet).
+	TypeModel *cluster.Model
 
 	// PrefillFrac warms each placed tenant's logical space (0 → 0.35).
 	PrefillFrac float64
@@ -183,6 +195,11 @@ const (
 	StateCopying
 	// StateRejected: turned away — the rack and its queue were full.
 	StateRejected
+	// StateLeaving: session ended; generator stopped, draining inflight
+	// I/O before the slot frees.
+	StateLeaving
+	// StateDeparted: drained and gone; slot released, mapping trimmed.
+	StateDeparted
 )
 
 func (s TenantState) String() string {
@@ -197,6 +214,10 @@ func (s TenantState) String() string {
 		return "copying"
 	case StateRejected:
 		return "rejected"
+	case StateLeaving:
+		return "leaving"
+	case StateDeparted:
+		return "departed"
 	default:
 		return fmt.Sprintf("TenantState(%d)", uint8(s))
 	}
@@ -218,9 +239,16 @@ type Tenant struct {
 
 	arrival  sim.Time
 	placedAt sim.Time
+	// departAt ends the tenant's session when Config.Lifetime is set
+	// (0 = stays for the whole run).
+	departAt sim.Time
 	rng      *sim.RNG
 	gen      *workload.Generator
 	vssd     *vssd.VSSD
+	// rec captures the tenant's recent traffic for workload-type
+	// classification when Config.TypeModel is set. It survives migration:
+	// the tenant's access stream is continuous across devices.
+	rec *trace.Recorder
 	// lastBytes is the TotalBytesMoved snapshot at the last epoch;
 	// epochBytes is the delta over the last epoch (the migration victim
 	// signal).
@@ -249,6 +277,7 @@ type Fleet struct {
 
 	// counters feeding Stats
 	placed, rejected    int
+	departed            int
 	migStarted, migDone int
 	migDowntime         sim.Time
 	lastFleetBytes      int64
@@ -340,6 +369,9 @@ func (f *Fleet) advanceTo(t sim.Time) {
 func (f *Fleet) controlPlane(now sim.Time) {
 	f.refreshLoad()
 	f.stepMigrations(now)
+	if f.cfg.Lifetime > 0 {
+		f.stepDepartures(now)
+	}
 
 	// Queued tenants retry before new arrivals (FIFO fairness).
 	remaining := f.queue[:0]
@@ -406,6 +438,14 @@ func (f *Fleet) tryPlace(tn *Tenant, now sim.Time) bool {
 	tn.Device = dev
 	tn.State = StateRunning
 	tn.placedAt = now
+	// Session length and recorder are drawn/created only when the cohort
+	// features are on, so legacy configs take zero extra RNG draws.
+	if f.cfg.Lifetime > 0 {
+		tn.departAt = now + tn.rng.ExpDuration(f.cfg.Lifetime)
+	}
+	if f.cfg.TypeModel != nil && tn.rec == nil {
+		tn.rec = trace.NewRecorder(cluster.WindowSize)
+	}
 	tn.vssd = sh.addTenantVSSD(tn, f.cfg)
 	tn.lastBytes = 0
 	tn.gen = workloadGenerator(sh, tn)
@@ -420,7 +460,55 @@ func (f *Fleet) tryPlace(tn *Tenant, now sim.Time) bool {
 // source generator never draws again), so a tenant's access sequence is
 // one continuous deterministic stream across devices.
 func workloadGenerator(sh *Shard, tn *Tenant) *workload.Generator {
-	return workload.NewGenerator(sh.eng, tn.vssd, workload.ByName(tn.Workload), tn.rng)
+	g := workload.NewGenerator(sh.eng, tn.vssd, workload.ByName(tn.Workload), tn.rng)
+	if tn.rec != nil {
+		g.Record(tn.rec)
+	}
+	return g
+}
+
+// stepDepartures retires tenants whose sessions ended: a running tenant
+// past its departure time stops generating (StateLeaving) and, once its
+// queue and inflight are empty, releases its slot and trims its mapping —
+// the same drain discipline migration uses, so a departure never abandons
+// in-flight I/O. Migrating tenants defer their departure until after
+// cutover (pickVictim only takes StateRunning, so a leaving tenant is
+// never chosen as a migration victim).
+func (f *Fleet) stepDepartures(now sim.Time) {
+	for _, sh := range f.shards {
+		for i := 0; i < len(sh.resident); i++ {
+			tn := sh.resident[i]
+			switch tn.State {
+			case StateRunning:
+				if tn.departAt > 0 && now >= tn.departAt {
+					tn.State = StateLeaving
+					tn.gen.Stop()
+				}
+			case StateLeaving:
+				if tn.vssd.QueueLen() == 0 && tn.vssd.Inflight() == 0 {
+					f.depart(sh, tn, i)
+					i--
+				}
+			}
+		}
+	}
+}
+
+// depart finalizes one drained departure: trim the mapping so its blocks
+// become GC-reclaimable, free the admission slot, and drop the tenant
+// from the shard's resident set.
+func (f *Fleet) depart(sh *Shard, tn *Tenant, i int) {
+	st := tn.vssd.Tenant()
+	for lpn := 0; lpn < st.LogicalPages(); lpn++ {
+		st.Trim(lpn)
+	}
+	sh.slotsUsed--
+	sh.resident = append(sh.resident[:i], sh.resident[i+1:]...)
+	tn.State = StateDeparted
+	tn.Device = -1
+	tn.vssd = nil
+	tn.gen = nil
+	f.departed++
 }
 
 // Collect assembles the final Stats roll-up. It can be called after Run
@@ -437,14 +525,19 @@ func (f *Fleet) Collect() Stats {
 		MigrationsCompleted: f.migDone,
 		MigrationsInFlight:  f.migStarted - f.migDone,
 		Downtime:            f.migDowntime,
+		Departed:            f.departed,
 	}
 	for _, tn := range f.tenants[:f.nextArr] {
 		switch tn.State {
-		case StateRunning:
+		case StateRunning, StateLeaving:
+			// A leaving tenant still holds its slot until drained.
 			s.Running++
 		case StateDraining, StateCopying:
 			s.Migrating++
 		}
+	}
+	if f.cfg.TypeModel != nil {
+		s.TypeCounts = f.classifyTenants()
 	}
 	s.PerDevice = make([]DeviceStats, len(f.shards))
 	var hostBytes int64
@@ -483,6 +576,29 @@ func (f *Fleet) Collect() Stats {
 		s.MinUtil, s.MaxUtil = 0, 0
 	}
 	return s
+}
+
+// classifyTenants runs every traced tenant's recent window through the
+// type model and tallies the resulting cluster labels (sorted by label
+// for deterministic rendering). Tenants with fewer than 100 recorded
+// requests are skipped — the same floor core.FleetIO.retype uses.
+func (f *Fleet) classifyTenants() []TypeCount {
+	counts := map[string]int{}
+	pageSize := f.cfg.Flash.PageSize
+	logical := int64(slotLogicalPages(f.cfg))
+	for _, tn := range f.tenants[:f.nextArr] {
+		if tn.rec == nil || tn.rec.Len() < 100 {
+			continue
+		}
+		c, known := f.cfg.TypeModel.ClassifyTrace(tn.rec.Records(), pageSize, logical)
+		counts[f.cfg.TypeModel.Label(c, known)]++
+	}
+	out := make([]TypeCount, 0, len(counts))
+	for label, n := range counts {
+		out = append(out, TypeCount{Label: label, Count: n})
+	}
+	sortTypeCounts(out)
+	return out
 }
 
 // Shard is one device: a full single-SSD simulation owned by the fleet.

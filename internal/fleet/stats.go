@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -31,14 +32,18 @@ type Stats struct {
 	Devices int
 	Epochs  int
 
-	// Tenant ledger: Arrived = Running + Migrating + Queued + Rejected,
-	// and Placed = Running + Migrating (no tenant ever departs).
+	// Tenant ledger: Arrived = Running + Migrating + Queued + Rejected +
+	// Departed, and Placed = Running + Migrating + Departed (every
+	// placement is still alive or has drained out through a departure).
 	Arrived   int
 	Placed    int
 	Running   int
 	Migrating int
 	Queued    int
 	Rejected  int
+	// Departed counts tenants whose sessions ended mid-run (cohort mode,
+	// Config.Lifetime > 0); 0 otherwise.
+	Departed int
 
 	// Migration ledger: Started = Completed + InFlight.
 	MigrationsStarted   int
@@ -57,15 +62,31 @@ type Stats struct {
 	MinUtil float64
 	MaxUtil float64
 
+	// TypeCounts tallies the clusterer's workload-type labels across
+	// traced tenants (Config.TypeModel set); empty otherwise.
+	TypeCounts []TypeCount
+
 	PerDevice []DeviceStats
+}
+
+// TypeCount is one workload-type label with the number of tenants the
+// clusterer assigned to it.
+type TypeCount struct {
+	Label string
+	Count int
+}
+
+// sortTypeCounts orders labels lexicographically for stable rendering.
+func sortTypeCounts(tc []TypeCount) {
+	sort.Slice(tc, func(i, j int) bool { return tc[i].Label < tc[j].Label })
 }
 
 // Balanced reports whether the tenant and migration ledgers close: every
 // arrival is accounted for exactly once, every placement is still alive,
 // and every started migration either completed or is in flight.
 func (s Stats) Balanced() bool {
-	return s.Arrived == s.Running+s.Migrating+s.Queued+s.Rejected &&
-		s.Placed == s.Running+s.Migrating &&
+	return s.Arrived == s.Running+s.Migrating+s.Queued+s.Rejected+s.Departed &&
+		s.Placed == s.Running+s.Migrating+s.Departed &&
 		s.MigrationsStarted == s.MigrationsCompleted+s.MigrationsInFlight
 }
 
@@ -73,15 +94,22 @@ func (s Stats) Balanced() bool {
 // FigureFleet and the determinism tests.
 func (s Stats) Render(w io.Writer) {
 	fmt.Fprintf(w, "devices=%d epochs=%d\n", s.Devices, s.Epochs)
-	fmt.Fprintf(w, "tenants: arrived=%d placed=%d running=%d migrating=%d queued=%d rejected=%d\n",
-		s.Arrived, s.Placed, s.Running, s.Migrating, s.Queued, s.Rejected)
+	fmt.Fprintf(w, "tenants: arrived=%d placed=%d running=%d migrating=%d queued=%d rejected=%d departed=%d\n",
+		s.Arrived, s.Placed, s.Running, s.Migrating, s.Queued, s.Rejected, s.Departed)
 	fmt.Fprintf(w, "migrations: started=%d completed=%d inflight=%d downtime=%.1fms\n",
 		s.MigrationsStarted, s.MigrationsCompleted, s.MigrationsInFlight, float64(s.Downtime)/1e6)
+	if len(s.TypeCounts) > 0 {
+		fmt.Fprintf(w, "types:")
+		for _, tc := range s.TypeCounts {
+			fmt.Fprintf(w, " %s=%d", tc.Label, tc.Count)
+		}
+		fmt.Fprintf(w, "\n")
+	}
 	fmt.Fprintf(w, "fleet: completed=%d aggBW=%.1fMB/s avgUtil=%.1f%% devUtil min/max=%.1f%%/%.1f%%\n",
 		s.Completed, s.AggBandwidthMBps, s.AvgUtil*100, s.MinUtil*100, s.MaxUtil*100)
 	if !s.Balanced() {
-		fmt.Fprintf(w, "!! ledger imbalance: arrived=%d running=%d migrating=%d queued=%d rejected=%d started=%d done=%d inflight=%d\n",
-			s.Arrived, s.Running, s.Migrating, s.Queued, s.Rejected,
+		fmt.Fprintf(w, "!! ledger imbalance: arrived=%d running=%d migrating=%d queued=%d rejected=%d departed=%d started=%d done=%d inflight=%d\n",
+			s.Arrived, s.Running, s.Migrating, s.Queued, s.Rejected, s.Departed,
 			s.MigrationsStarted, s.MigrationsCompleted, s.MigrationsInFlight)
 	}
 }
@@ -90,7 +118,7 @@ func (s Stats) Render(w io.Writer) {
 // control plane at every epoch boundary (single-threaded, so plain Sets).
 type fleetMetrics struct {
 	devices, running, queued   *obs.Metric
-	rejected, placed           *obs.Metric
+	rejected, placed, departed *obs.Metric
 	migStarted, migDone        *obs.Metric
 	migDowntime                *obs.Metric
 	bandwidth                  *obs.Metric
@@ -104,6 +132,7 @@ func newFleetMetrics(reg *obs.Registry) *fleetMetrics {
 		running:     reg.Gauge("fleetio_fleet_tenants_running", "Tenants currently serving I/O."),
 		queued:      reg.Gauge("fleetio_fleet_tenants_queued", "Tenants waiting for a device slot."),
 		rejected:    reg.Counter("fleetio_fleet_tenants_rejected_total", "Tenants turned away by fleet admission."),
+		departed:    reg.Counter("fleetio_fleet_tenants_departed_total", "Tenants whose sessions ended and drained out (cohort mode)."),
 		placed:      reg.Counter("fleetio_fleet_placements_total", "Tenant placements performed."),
 		migStarted:  reg.Counter("fleetio_fleet_migrations_started_total", "Cold migrations started."),
 		migDone:     reg.Counter("fleetio_fleet_migrations_completed_total", "Cold migrations completed."),
@@ -125,7 +154,7 @@ func (f *Fleet) publishMetrics(now sim.Time) {
 	var running, migrating int
 	for _, tn := range f.tenants[:f.nextArr] {
 		switch tn.State {
-		case StateRunning:
+		case StateRunning, StateLeaving:
 			running++
 		case StateDraining, StateCopying:
 			migrating++
@@ -134,6 +163,7 @@ func (f *Fleet) publishMetrics(now sim.Time) {
 	m.running.Set(float64(running + migrating))
 	m.queued.Set(float64(len(f.queue)))
 	m.rejected.Set(float64(f.rejected))
+	m.departed.Set(float64(f.departed))
 	m.placed.Set(float64(f.placed))
 	m.migStarted.Set(float64(f.migStarted))
 	m.migDone.Set(float64(f.migDone))

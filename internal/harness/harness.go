@@ -110,6 +110,14 @@ type Options struct {
 	// FleetDevices sizes the rack for FleetScenario/FigureFleet
 	// (0 → DefaultFleetDevices). Single-device experiments ignore it.
 	FleetDevices int
+	// WorkloadShape overlays a temporal arrival shape (diurnal, bursty,
+	// replay) on every tenant of the measured run. Calibration always
+	// runs steady so the SLOs keep their §3.3.1 nominal-shape definition.
+	WorkloadShape workload.Shape
+	// ReplayRecords, when non-empty, is the trace replayed by
+	// ShapeReplay tenants (each tenant replays the same records); empty
+	// means each tenant replays a trace synthesized from its own profile.
+	ReplayRecords []trace.Record
 }
 
 // DefaultOptions returns fast, deterministic settings for tests/benches.
@@ -307,6 +315,11 @@ func buildPlatform(mix MixSpec, kind PolicyKind, slos []sim.Time, opt Options) *
 	rng := sim.NewRNG(opt.Seed)
 	for i, name := range mix.Workloads {
 		prof := workload.ByName(name)
+		if opt.WorkloadShape != workload.ShapeSteady {
+			// The shaped profile keeps its name and request mix, so SLO
+			// seeding and result collection still key by workload.
+			prof = workload.ApplyShape(prof, opt.WorkloadShape, opt.Seed*1000+int64(i), opt.ReplayRecords)
+		}
 		cfg := vssd.Config{
 			Name:             fmt.Sprintf("%s-%d", name, i),
 			MaxInflightPages: prof.MaxInflightPages,
@@ -497,10 +510,14 @@ func insertionSort(xs []float64) {
 // tenant's measured P99 — the SLO definition of §3.3.1.
 func Calibrate(mix MixSpec, opt Options) []sim.Time {
 	// Calibration defines the SLOs; observing it would pollute the trace
-	// and telemetry of the measured run that follows, and injecting
-	// faults into it would bake retry tails into the SLO itself.
+	// and telemetry of the measured run that follows, injecting faults
+	// into it would bake retry tails into the SLO itself, and shaping it
+	// would redefine the SLO per shape instead of per workload (§3.3.1
+	// measures the nominal hardware-isolated P99).
 	opt.Obs = nil
 	opt.Faults = nil
+	opt.WorkloadShape = workload.ShapeSteady
+	opt.ReplayRecords = nil
 	r := buildPlatform(mix, PolHardware, nil, opt)
 	r.attachPolicy(PolHardware, mix)
 	r.execute()

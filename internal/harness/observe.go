@@ -90,6 +90,23 @@ func (r *run) startObserving() *obs.Sampler {
 		}
 	}
 
+	// Per-generator workload series: arrival-process state (issue count,
+	// composed rate factor, replay progress), labelled like the vssd
+	// series. Steady profiles report a constant factor and zero wraps.
+	type genGauges struct {
+		issued, rate, wraps *obs.Metric
+	}
+	ggs := make([]*genGauges, len(r.gens))
+	for i := range r.gens {
+		v := r.plat.VSSDs()[i]
+		l := []string{"vssd", strconv.Itoa(i), "name", v.Name()}
+		ggs[i] = &genGauges{
+			issued: reg.Counter("fleetio_workload_issued_total", "Requests issued by the workload generator.", l...),
+			rate:   reg.Gauge("fleetio_workload_rate_factor", "Composed arrival-rate multiplier (phase x diurnal x burst).", l...),
+			wraps:  reg.Counter("fleetio_workload_replay_wraps_total", "Times a looped trace replay restarted.", l...),
+		}
+	}
+
 	var lastAt sim.Time
 	s.AddProbe(func(now sim.Time) {
 		dt := float64(now-lastAt) / 1e9
@@ -127,6 +144,12 @@ func (r *run) startObserving() *obs.Sampler {
 				retries += v.TotalRetries()
 			}
 			fWriteRetry.Set(float64(retries))
+		}
+
+		for i, g := range r.gens {
+			ggs[i].issued.Set(float64(g.Issued()))
+			ggs[i].rate.Set(g.RateFactor())
+			ggs[i].wraps.Set(float64(g.ReplayWraps()))
 		}
 
 		if admAdmitted != nil {

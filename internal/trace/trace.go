@@ -59,15 +59,22 @@ func Read(r io.Reader) ([]Record, error) {
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return nil, fmt.Errorf("trace: header: %w", err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:4]) != magic {
-		return nil, fmt.Errorf("trace: bad magic")
+	if got := binary.LittleEndian.Uint32(hdr[0:4]); got != magic {
+		return nil, fmt.Errorf("trace: bad magic %#08x (want %#08x)", got, magic)
 	}
 	n := binary.LittleEndian.Uint64(hdr[4:12])
-	recs := make([]Record, 0, n)
+	// The record count comes from the (possibly corrupt) header; cap the
+	// preallocation so a bogus count cannot balloon memory before the
+	// truncated-read error below surfaces.
+	pre := n
+	if pre > 1<<20 {
+		pre = 1 << 20
+	}
+	recs := make([]Record, 0, pre)
 	buf := make([]byte, 21)
 	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			return nil, fmt.Errorf("trace: record %d of %d: %w", i, n, err)
 		}
 		recs = append(recs, Record{
 			At:    sim.Time(binary.LittleEndian.Uint64(buf[0:8])),

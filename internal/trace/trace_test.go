@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -133,4 +135,90 @@ func TestRecorderRing(t *testing.T) {
 	if rc.Len() != 10 {
 		t.Fatalf("len = %d", rc.Len())
 	}
+}
+
+func TestReadErrorDetail(t *testing.T) {
+	// Bad magic: the error must name both the bytes found and the bytes
+	// expected, so a mis-pointed file is diagnosable from the message.
+	bad := make([]byte, 12)
+	bad[0], bad[1], bad[2], bad[3] = 0xde, 0xad, 0xbe, 0xef
+	_, err := Read(bytes.NewReader(bad))
+	if err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	for _, want := range []string{"0xefbeadde", "0x00f1ee70"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("bad-magic error %q does not mention %s", err, want)
+		}
+	}
+
+	// Truncated record stream: the error must carry the record index and
+	// the header's total count.
+	var buf bytes.Buffer
+	if err := Write(&buf, []Record{{At: 1}, {At: 2}, {At: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	_, err = Read(bytes.NewReader(data[:12+21+5])) // header + 1 record + a stub
+	if err == nil {
+		t.Fatal("truncated record stream accepted")
+	}
+	if !strings.Contains(err.Error(), "record 1 of 3") {
+		t.Fatalf("truncation error %q does not locate the record", err)
+	}
+
+	// Truncated header.
+	for _, n := range []int{0, 5, 11} {
+		if _, err := Read(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("%d-byte header accepted", n)
+		} else if !strings.Contains(err.Error(), "header") {
+			t.Fatalf("header error %q does not say header", err)
+		}
+	}
+}
+
+func TestReadBogusCountNoBlowup(t *testing.T) {
+	// A corrupt header claiming 2^60 records must fail on the first
+	// missing record, not try to preallocate for the claimed count.
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint64(hdr[4:12], 1<<60)
+	_, err := Read(bytes.NewReader(hdr))
+	if err == nil {
+		t.Fatal("bogus count accepted")
+	}
+	if !strings.Contains(err.Error(), "record 0 of") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// FuzzRead drives Read over corrupted headers and record streams: it must
+// either return an error or records that round-trip, never panic.
+func FuzzRead(f *testing.F) {
+	var valid bytes.Buffer
+	if err := Write(&valid, []Record{{At: 7, Write: true, LPN: 9, Pages: 2}, {At: 11, LPN: 3, Pages: 1}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:13])
+	f.Add(valid.Bytes()[:11])
+	f.Add([]byte("Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid.Bytes()...)
+	corrupt[6] = 0xff // header count
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil || len(back) != len(recs) {
+			t.Fatalf("accepted trace does not round-trip: %v", err)
+		}
+	})
 }

@@ -10,6 +10,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -41,6 +42,51 @@ type Phase struct {
 	Factor float64
 }
 
+// Harmonic is one sinusoidal component of a diurnal intensity pattern:
+// the rate multiplier contributes Amp*sin(2π·t/Period). Real diurnal
+// curves are sums of a few harmonics (daily + weekly + noise period);
+// profiles list several and the factors compose additively around 1.
+type Harmonic struct {
+	Period sim.Time
+	Amp    float64
+}
+
+// Burst parameterizes a two-state Markov-modulated Poisson process: the
+// generator alternates between a high-rate and a low-rate regime with
+// exponentially distributed sojourn times, multiplying the base rate by
+// HighFactor or LowFactor (0 = 1.0). State flips draw from the
+// generator's own RNG stream, so the burst schedule is deterministic per
+// seed and independent across tenants.
+type Burst struct {
+	HighFactor, LowFactor float64
+	MeanHigh, MeanLow     sim.Time
+}
+
+// Replay makes a profile deterministic: instead of drawing synthetic
+// accesses, the generator replays Records open-loop at their recorded
+// timestamps (shifted to the generator's start time). With Loop set the
+// trace repeats end-to-start, advancing the time base by the trace span
+// each wrap.
+type Replay struct {
+	Records []trace.Record
+	Loop    bool
+}
+
+// span returns one loop iteration's duration: last-minus-first arrival
+// plus one mean gap, so looped replays keep a steady arrival rate across
+// the wrap instead of issuing two records back to back.
+func (r *Replay) span() sim.Time {
+	n := len(r.Records)
+	if n == 0 {
+		return sim.Millisecond
+	}
+	d := r.Records[n-1].At - r.Records[0].At
+	if n == 1 || d <= 0 {
+		return sim.Millisecond
+	}
+	return d + d/sim.Time(n-1)
+}
+
 // Profile is a fully parameterized workload.
 type Profile struct {
 	Name  string
@@ -68,13 +114,57 @@ type Profile struct {
 	Phases []Phase
 	// MaxInflightPages overrides the vSSD inflight cap (0 = default).
 	MaxInflightPages int
+
+	// Diurnal adds multi-period sinusoidal rate modulation on top of
+	// Phases; empty means none. The composed factor is clamped at 0.05.
+	Diurnal []Harmonic
+	// Burst overlays a two-state MMPP regime switch; nil means none.
+	Burst *Burst
+	// Replay, when set, replaces the synthetic access process entirely:
+	// the generator replays the trace open-loop and every other shape
+	// knob is ignored.
+	Replay *Replay
 }
 
 // Validate reports profile errors.
 func (p Profile) Validate() error {
-	switch {
-	case p.Name == "":
+	if p.Name == "" {
 		return fmt.Errorf("workload: empty name")
+	}
+	if p.Replay != nil {
+		// Replay profiles use only the trace; the synthetic knobs are
+		// unused and so unchecked.
+		if len(p.Replay.Records) == 0 {
+			return fmt.Errorf("workload %s: empty replay trace", p.Name)
+		}
+		var prev sim.Time
+		for i, r := range p.Replay.Records {
+			if r.Pages < 1 || r.LPN < 0 {
+				return fmt.Errorf("workload %s: replay record %d: lpn=%d pages=%d", p.Name, i, r.LPN, r.Pages)
+			}
+			if r.At < prev {
+				return fmt.Errorf("workload %s: replay record %d out of order", p.Name, i)
+			}
+			prev = r.At
+		}
+		return nil
+	}
+	for i, h := range p.Diurnal {
+		if h.Period <= 0 {
+			return fmt.Errorf("workload %s: diurnal harmonic %d: period %v", p.Name, i, h.Period)
+		}
+	}
+	if b := p.Burst; b != nil {
+		switch {
+		case b.HighFactor <= 0:
+			return fmt.Errorf("workload %s: burst high factor %v", p.Name, b.HighFactor)
+		case b.LowFactor < 0:
+			return fmt.Errorf("workload %s: burst low factor %v", p.Name, b.LowFactor)
+		case b.MeanHigh <= 0 || b.MeanLow <= 0:
+			return fmt.Errorf("workload %s: burst sojourns %v/%v", p.Name, b.MeanHigh, b.MeanLow)
+		}
+	}
+	switch {
 	case p.ClosedLoop && p.Concurrency <= 0:
 		return fmt.Errorf("workload %s: closed loop needs concurrency", p.Name)
 	case !p.ClosedLoop && p.MeanIOPS <= 0:
@@ -240,6 +330,54 @@ func (p Profile) phaseFactor(t sim.Time) float64 {
 	return 1
 }
 
+// diurnalFactor composes the profile's harmonics at time t, clamped so
+// the rate never collapses entirely during troughs.
+func (p Profile) diurnalFactor(t sim.Time) float64 {
+	f := 1.0
+	for _, h := range p.Diurnal {
+		f += h.Amp * math.Sin(2*math.Pi*float64(t)/float64(h.Period))
+	}
+	if f < 0.05 {
+		f = 0.05
+	}
+	return f
+}
+
+// burstState tracks which MMPP regime a stream is in and when it next
+// flips; shared between the live Generator and SynthesizeTrace.
+type burstState struct {
+	init  bool
+	high  bool
+	until sim.Time
+	flips int64
+}
+
+// factor advances the regime switch to time now (drawing sojourns from
+// rng) and returns the current rate multiplier.
+func (bs *burstState) factor(b *Burst, now sim.Time, rng *sim.RNG) float64 {
+	if !bs.init {
+		bs.init = true
+		bs.high = false
+		bs.until = now + rng.ExpDuration(b.MeanLow)
+	}
+	for now >= bs.until {
+		bs.high = !bs.high
+		bs.flips++
+		mean := b.MeanLow
+		if bs.high {
+			mean = b.MeanHigh
+		}
+		bs.until += rng.ExpDuration(mean)
+	}
+	if bs.high {
+		return b.HighFactor
+	}
+	if b.LowFactor == 0 {
+		return 1
+	}
+	return b.LowFactor
+}
+
 // Generator drives a vSSD with the profile's traffic. Its steady state is
 // allocation-free: requests come from the vSSD's pool, the closed-loop
 // completion callback is built once at construction, and think-time /
@@ -253,6 +391,15 @@ type Generator struct {
 	stopped bool
 	rec     *trace.Recorder
 	issued  int64
+	// lastFactor is the most recent composed rate multiplier (phases ×
+	// diurnal × burst), exported for observability.
+	lastFactor float64
+	burst      burstState
+	// Replay cursor: index of the next record, the virtual-time base the
+	// trace is shifted by, and how many times a looped trace has wrapped.
+	ri          int
+	rbase       sim.Time
+	replayWraps int64
 	// onClosed is the shared completion callback for closed-loop requests;
 	// caching it avoids one closure allocation per request.
 	onClosed func(*vssd.Request, sim.Time)
@@ -263,7 +410,7 @@ func NewGenerator(eng *sim.Engine, v *vssd.VSSD, prof Profile, rng *sim.RNG) *Ge
 	if err := prof.Validate(); err != nil {
 		panic(err)
 	}
-	g := &Generator{prof: prof, eng: eng, v: v, rng: rng}
+	g := &Generator{prof: prof, eng: eng, v: v, rng: rng, lastFactor: 1}
 	g.onClosed = func(_ *vssd.Request, _ sim.Time) { g.closedDone() }
 	return g
 }
@@ -277,9 +424,37 @@ func (g *Generator) Profile() Profile { return g.prof }
 // Issued returns the number of requests issued so far.
 func (g *Generator) Issued() int64 { return g.issued }
 
+// RateFactor returns the most recent composed rate multiplier (phase ×
+// diurnal × burst); replay generators report 1.
+func (g *Generator) RateFactor() float64 { return g.lastFactor }
+
+// ReplayWraps returns how many times a looped replay has restarted.
+func (g *Generator) ReplayWraps() int64 { return g.replayWraps }
+
+// rateFactor composes the intensity multiplier at time now and caches it
+// for RateFactor. Profiles without Diurnal/Burst take zero extra RNG
+// draws here, keeping legacy runs byte-identical.
+func (g *Generator) rateFactor(now sim.Time) float64 {
+	f := g.prof.phaseFactor(now)
+	if len(g.prof.Diurnal) > 0 {
+		f *= g.prof.diurnalFactor(now)
+	}
+	if g.prof.Burst != nil {
+		f *= g.burst.factor(g.prof.Burst, now, g.rng)
+	}
+	g.lastFactor = f
+	return f
+}
+
 // Start launches the arrival process.
 func (g *Generator) Start() {
 	g.stopped = false
+	if g.prof.Replay != nil {
+		g.ri = 0
+		g.rbase = g.eng.Now() - g.prof.Replay.Records[0].At
+		g.scheduleReplay()
+		return
+	}
 	if g.prof.ClosedLoop {
 		for i := 0; i < g.prof.Concurrency; i++ {
 			g.issueClosed()
@@ -316,7 +491,7 @@ func (g *Generator) issueClosed() {
 // closedDone chains the next closed-loop request, inserting think time
 // between batch stages when the phase factor is below 1.
 func (g *Generator) closedDone() {
-	f := g.prof.phaseFactor(g.eng.Now())
+	f := g.rateFactor(g.eng.Now())
 	if f >= 0.999 {
 		g.issueClosed()
 		return
@@ -340,7 +515,7 @@ func (g *Generator) scheduleOpen() {
 	if g.stopped {
 		return
 	}
-	f := g.prof.phaseFactor(g.eng.Now())
+	f := g.rateFactor(g.eng.Now())
 	rate := g.prof.MeanIOPS * f
 	if rate < 1 {
 		rate = 1
@@ -359,6 +534,68 @@ func genOpenArrival(arg sim.EventArg, _ sim.Time) {
 	g.scheduleOpen()
 }
 
+// scheduleReplay arms the next trace record's arrival, wrapping looped
+// traces by advancing the time base one span per iteration.
+func (g *Generator) scheduleReplay() {
+	if g.stopped {
+		return
+	}
+	rp := g.prof.Replay
+	if g.ri >= len(rp.Records) {
+		if !rp.Loop {
+			return
+		}
+		g.ri = 0
+		g.rbase += rp.span()
+		g.replayWraps++
+	}
+	at := g.rbase + rp.Records[g.ri].At
+	delay := at - g.eng.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	g.eng.ScheduleEvent(delay, genReplayArrival, sim.EventArg{P: g})
+}
+
+// genReplayArrival issues the pending trace record and re-arms the next.
+func genReplayArrival(arg sim.EventArg, _ sim.Time) {
+	g := arg.P.(*Generator)
+	if g.stopped {
+		return
+	}
+	g.issueReplay(g.prof.Replay.Records[g.ri])
+	g.ri++
+	g.scheduleReplay()
+}
+
+// issueReplay submits one trace record through the normal datapath,
+// folding addresses that fall outside the tenant's logical space back in
+// (a trace captured on a bigger device must still replay on a small vSSD).
+func (g *Generator) issueReplay(r trace.Record) {
+	logical := int64(g.v.Tenant().LogicalPages())
+	n := int64(r.Pages)
+	if n > logical {
+		n = logical
+	}
+	lpn := r.LPN
+	if lpn+n > logical {
+		lpn %= logical
+		if lpn+n > logical {
+			lpn = logical - n
+		}
+	}
+	if g.rec != nil {
+		g.rec.Add(trace.Record{At: g.eng.Now(), Write: r.Write, LPN: lpn, Pages: int32(n)})
+	}
+	g.issued++
+	req := g.v.AcquireRequest()
+	req.Write = r.Write
+	req.LPN = int(lpn)
+	req.Pages = int(n)
+	req.OnComplete = nil
+	g.v.Submit(req)
+}
+
 // SynthesizeTrace produces n records of this profile without a simulator,
 // for clustering and offline analysis. Timestamps follow the open-loop
 // arrival model (closed-loop profiles use an effective IOPS estimated from
@@ -367,15 +604,30 @@ func (p Profile) SynthesizeTrace(n int, logicalPages int, rng *sim.RNG) []trace.
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
+	if p.Replay != nil {
+		// A replay profile's trace IS its synthetic form.
+		m := len(p.Replay.Records)
+		if m > n {
+			m = n
+		}
+		return append([]trace.Record(nil), p.Replay.Records[:m]...)
+	}
 	rate := p.MeanIOPS
 	if p.ClosedLoop {
 		rate = float64(p.Concurrency) / 0.002
 	}
 	var st addrState
+	var bs burstState
 	recs := make([]trace.Record, 0, n)
 	var now sim.Time
 	for i := 0; i < n; i++ {
 		f := p.phaseFactor(now)
+		if len(p.Diurnal) > 0 {
+			f *= p.diurnalFactor(now)
+		}
+		if p.Burst != nil {
+			f *= bs.factor(p.Burst, now, rng)
+		}
 		r := rate * f
 		if r < 1 {
 			r = 1
@@ -385,4 +637,38 @@ func (p Profile) SynthesizeTrace(n int, logicalPages int, rng *sim.RNG) []trace.
 		recs = append(recs, trace.Record{At: now, Write: write, LPN: lpn, Pages: int32(np)})
 	}
 	return recs
+}
+
+// Register adds a profile to the named-profile table so ByName and mixes
+// can reference it (used for trace-backed profiles built at startup).
+func Register(p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if _, ok := profiles[p.Name]; ok {
+		return fmt.Errorf("workload: profile %q already registered", p.Name)
+	}
+	profiles[p.Name] = p
+	return nil
+}
+
+// ReplayProfile wraps a trace in a named profile: the generator replays
+// the records open-loop (looping when loop is set). The class is guessed
+// from the mean request size — big transfers read as bandwidth-intensive,
+// small ones as latency-sensitive — which seeds the SLO and reward side.
+func ReplayProfile(name string, recs []trace.Record, loop bool) Profile {
+	var pages int64
+	for _, r := range recs {
+		pages += int64(r.Pages)
+	}
+	class := Latency
+	if len(recs) > 0 && pages/int64(len(recs)) >= 8 {
+		class = Bandwidth
+	}
+	return Profile{
+		Name:             name,
+		Class:            class,
+		Replay:           &Replay{Records: recs, Loop: loop},
+		MaxInflightPages: 256,
+	}
 }

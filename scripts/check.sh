@@ -9,7 +9,9 @@
 # grep gates, a fault-enabled determinism gate (same seed => byte-identical
 # scenario output at any worker count), a rack-scale fleet gate (64-device
 # scenario byte-identical at any worker count, with at least one completed
-# migration), and a one-iteration benchmark smoke pass that fails on any
+# migration), a workload-replay gate (the checked-in CSV trace converts
+# and replays byte-identically at 1/2/4 workers, with live traffic
+# typing), and a one-iteration benchmark smoke pass that fails on any
 # steady-state device allocation.
 set -eu
 
@@ -67,7 +69,7 @@ if grep -n 'interface{}' internal/flash/*.go internal/sim/*.go internal/ftl/*.go
 fi
 
 echo "== go test -race (concurrency-heavy packages)"
-go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/... ./internal/obs/... ./internal/sim/... ./internal/flash/... ./internal/ftl/... ./internal/fault/... ./internal/fleet/...
+go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/... ./internal/obs/... ./internal/sim/... ./internal/flash/... ./internal/ftl/... ./internal/fault/... ./internal/fleet/... ./internal/trace/... ./internal/workload/...
 
 echo "== go test -race -tags=flashdebug (op pool poison mode)"
 # flashdebug poisons every recycled Op on release so a use-after-release
@@ -119,6 +121,27 @@ fi
 if ! grep -q 'migrations: started=[1-9][0-9]* completed=[1-9]' "$fleet1"; then
     echo "64-device fleet scenario completed no migrations:" >&2
     cat "$fleet1" >&2
+    exit 1
+fi
+
+echo "== workload-replay determinism (CSV trace, 1 vs 2 vs 4 workers)"
+# The checked-in sample CSV must convert to the binary trace format and
+# replay byte-identically at any worker count, and the cohort rack must
+# classify live traffic (a non-empty types: line).
+wlbin=$(mktemp) && wl1=$(mktemp) && wl2=$(mktemp) && wl4=$(mktemp)
+trap 'rm -f "$faults1" "$faults4" "$fleet1" "$fleet4" "$wlbin" "$wl1" "$wl2" "$wl4"' EXIT
+go run ./cmd/fleettrace convert -in internal/trace/testdata/sample_msr.csv -format msr -out "$wlbin"
+go run ./cmd/fleetbench -fig workloads -trace "$wlbin" -seconds 2 -warmup 1 -parallel 1 > "$wl1"
+go run ./cmd/fleetbench -fig workloads -trace "$wlbin" -seconds 2 -warmup 1 -parallel 2 > "$wl2"
+go run ./cmd/fleetbench -fig workloads -trace "$wlbin" -seconds 2 -warmup 1 -parallel 4 > "$wl4"
+if ! cmp -s "$wl1" "$wl2" || ! cmp -s "$wl1" "$wl4"; then
+    echo "workload scenario output differs across -parallel 1/2/4:" >&2
+    diff "$wl1" "$wl4" >&2 || true
+    exit 1
+fi
+if ! grep -q 'types: .*=' "$wl1"; then
+    echo "cohort rack classified no live traffic:" >&2
+    cat "$wl1" >&2
     exit 1
 fi
 
