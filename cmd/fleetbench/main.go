@@ -59,6 +59,7 @@ func main() {
 	fleetN := flag.Int("fleet", 0, "device count for -fig fleet (0 = 64)")
 	workloadFlag := flag.String("workload", "steady", "temporal arrival shape: steady, diurnal, bursty, or replay")
 	traceFile := flag.String("trace", "", "block trace (binary or CSV) used as the replay source")
+	scalarRL := flag.Bool("scalar-rl", false, "use the scalar (per-agent, per-sample) RL kernels instead of the batched ones; output is bit-identical either way (CI diffs the two)")
 	flag.Parse()
 
 	faultCfg, err := fault.ParseSpec(*faults)
@@ -91,6 +92,7 @@ func main() {
 	}
 	opt.FleetDevices = *fleetN
 	opt.WorkloadShape = shape
+	opt.ScalarRL = *scalarRL
 	if *traceFile != "" {
 		recs, err := trace.LoadFile(*traceFile, flash.DefaultConfig().PageSize)
 		if err != nil {

@@ -67,6 +67,7 @@ func main() {
 	faults := flag.String("faults", "", "NAND fault injection: off, light, heavy, or k=v list (pfail=,efail=,rretry=,tmo=,maxretries=,rstep=,stall=,seed=)")
 	fleetN := flag.Int("fleet", 0, "run a rack-scale fleet of N devices instead of a single-device experiment")
 	placement := flag.String("placement", "least-loaded", "fleet placement baseline: least-loaded, round-robin, or hash (with -fleet)")
+	scalarRL := flag.Bool("scalar-rl", false, "use the scalar (per-agent, per-sample) RL kernels instead of the batched ones; output is bit-identical either way")
 	flag.Parse()
 
 	faultCfg, err := fault.ParseSpec(*faults)
@@ -88,6 +89,7 @@ func main() {
 		opt.Duration = sim.Time(*seconds * 1e9)
 		opt.Workers = *parallel
 		opt.FleetDevices = *fleetN
+		opt.ScalarRL = *scalarRL
 		var srv *obs.Server
 		if *httpAddr != "" {
 			opt.Obs = obs.NewObserver()
@@ -129,6 +131,7 @@ func main() {
 	opt.Duration = sim.Time(*seconds * 1e9)
 	opt.Workers = *parallel
 	opt.WorkloadShape = shape
+	opt.ScalarRL = *scalarRL
 	if *traceFile != "" {
 		recs, err := trace.LoadFile(*traceFile, flash.DefaultConfig().PageSize)
 		if err != nil {

@@ -8,12 +8,13 @@
 //     SSD board;
 //   - a full FTL with out-of-place updates, striped write allocation, and
 //     lazy greedy garbage collection that prioritizes harvested blocks;
-//   - the ghost superblock (gSB) abstraction with a lock-free pool,
-//     admission control for RL actions, and the vSSD virtualization layer
-//     (hardware/software isolation, token buckets, stride scheduling,
-//     priority scheduling);
+//   - the ghost superblock (gSB) abstraction with allocation-free pooled
+//     metadata, admission control for RL actions, and the vSSD
+//     virtualization layer (hardware/software isolation, token buckets,
+//     stride scheduling, priority scheduling);
 //   - a from-scratch PPO implementation (multi-discrete actor-critic,
-//     GAE, Adam) and the FleetIO multi-agent policy: Table 1 states,
+//     GAE, Adam) with batched compute kernels bit-identical to the
+//     scalar path, and the FleetIO multi-agent policy: Table 1 states,
 //     Table 2 actions, the Eq. 1/Eq. 2 rewards, and §3.4 workload-type
 //     reward fine-tuning via k-means clustering;
 //   - synthetic generators for the paper's nine cloud workloads — with

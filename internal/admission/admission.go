@@ -63,6 +63,8 @@ type Controller struct {
 	Interval sim.Time
 
 	batch   []entry
+	spare   []entry // drained batch array, recycled on the next fill
+	sorter  batchSorter
 	arrival int64
 	started bool
 	stats   Stats
@@ -80,6 +82,42 @@ type Controller struct {
 type entry struct {
 	action  vssd.Action
 	arrival int64
+}
+
+// batchSorter implements the §3.5 ordering as a concrete sort.Interface:
+// sort.SliceStable's reflect.Swapper allocates per call, and Flush runs
+// every 50 ms for the lifetime of a deployment. Any stable sort produces
+// the same permutation for a given comparator and input order, so the
+// admitted sequence is identical to the previous sort.SliceStable code.
+type batchSorter struct {
+	batch []entry
+	gsbm  gsbHarvested
+}
+
+// gsbHarvested is the slice of the gSB manager the ordering consults.
+type gsbHarvested interface {
+	HarvestedChannels(harvester int) int
+}
+
+func (s *batchSorter) Len() int      { return len(s.batch) }
+func (s *batchSorter) Swap(i, j int) { s.batch[i], s.batch[j] = s.batch[j], s.batch[i] }
+
+func (s *batchSorter) Less(i, j int) bool {
+	ai, aj := s.batch[i], s.batch[j]
+	mi := ai.action.Kind == vssd.ActMakeHarvestable
+	mj := aj.action.Kind == vssd.ActMakeHarvestable
+	if mi != mj {
+		return mi // Make_Harvestable strictly first
+	}
+	if !mi {
+		// Both harvests: fewer already-harvested channels first, then FCFS.
+		hi := s.gsbm.HarvestedChannels(ai.action.VSSD)
+		hj := s.gsbm.HarvestedChannels(aj.action.VSSD)
+		if hi != hj {
+			return hi < hj
+		}
+	}
+	return ai.arrival < aj.arrival
 }
 
 // NewController builds a controller with the paper's defaults.
@@ -145,33 +183,21 @@ func (c *Controller) Flush() {
 	if len(c.batch) == 0 {
 		return
 	}
+	// Double-buffer: drain the filled batch while Submit (reentrant or
+	// next-window) fills the spare, then recycle the drained array.
 	batch := c.batch
-	c.batch = nil
+	c.batch = c.spare[:0]
 	c.stats.Batches++
 	if c.Reorder {
-		gsbm := c.plat.GSB()
-		sort.SliceStable(batch, func(i, j int) bool {
-			ai, aj := batch[i], batch[j]
-			mi := ai.action.Kind == vssd.ActMakeHarvestable
-			mj := aj.action.Kind == vssd.ActMakeHarvestable
-			if mi != mj {
-				return mi // Make_Harvestable strictly first
-			}
-			if !mi {
-				// Both harvests: fewer already-harvested channels first,
-				// then FCFS.
-				hi := gsbm.HarvestedChannels(ai.action.VSSD)
-				hj := gsbm.HarvestedChannels(aj.action.VSSD)
-				if hi != hj {
-					return hi < hj
-				}
-			}
-			return ai.arrival < aj.arrival
-		})
+		c.sorter.batch = batch
+		c.sorter.gsbm = c.plat.GSB()
+		sort.Stable(&c.sorter)
+		c.sorter.batch = nil
 	}
 	for _, e := range batch {
 		c.stats.Admitted++
 		c.Obs.Verdict(obs.KindAdmissionAdmit, e.action.VSSD, e.action.Kind.String(), e.action.BW)
 		c.plat.Apply(e.action)
 	}
+	c.spare = batch[:0]
 }

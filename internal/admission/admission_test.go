@@ -236,3 +236,24 @@ func TestFlushEmptyIsNoop(t *testing.T) {
 		t.Fatal("empty flush counted as a batch")
 	}
 }
+
+// TestFlushSteadyStateAllocs pins the batch cycle at zero steady-state
+// allocations: the drained batch array is double-buffered back into
+// service and the reorder sort uses a concrete sort.Interface (Flush runs
+// every 50 ms for the lifetime of a deployment).
+func TestFlushSteadyStateAllocs(t *testing.T) {
+	_, p, _ := testSetup()
+	c := NewController(p, nil)
+	cycle := func() {
+		// Harvest targets of 0 keep the batch metadata-only, as in
+		// BenchmarkAdmissionBatch.
+		for j := 0; j < 64; j++ {
+			c.Submit(vssd.Action{VSSD: j % 2, Kind: vssd.ActHarvest, BW: 0})
+		}
+		c.Flush()
+	}
+	cycle() // size the batch buffers
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Fatalf("steady-state submit+flush cycle allocates %v per run", avg)
+	}
+}

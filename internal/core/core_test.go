@@ -353,3 +353,87 @@ func TestPaperAlphaConstants(t *testing.T) {
 		t.Fatal("β must match Table 3")
 	}
 }
+
+// TestDecideBatchedMatchesScalar runs two identical shared-model FleetIO
+// deployments — one on the batched Decide path, one forced scalar with
+// ScalarRL — over the same simulated workload and requires identical action
+// streams, identical training statistics, and identical final network
+// parameters. This is the policy-level pin of the batched-kernel
+// bit-identity contract (the figure-level pin is scripts/check.sh's
+// batched-vs-scalar golden gate).
+func TestDecideBatchedMatchesScalar(t *testing.T) {
+	type run struct {
+		acts  []vssd.Action
+		stats []interface{}
+		par   []float64
+	}
+	do := func(scalar bool, train, greedy bool) run {
+		eng, p := testPlatform(4)
+		ls := p.AddVSSD(vssd.Config{Name: "ls", Channels: []int{0, 1}, SLO: 2 * sim.Millisecond})
+		bi := p.AddVSSD(vssd.Config{Name: "bi", Channels: []int{2, 3}, MaxInflightPages: 256})
+		gls := workload.NewGenerator(eng, ls, workload.ByName("YCSB"), sim.NewRNG(2))
+		gbi := workload.NewGenerator(eng, bi, workload.ByName("TeraSort"), sim.NewRNG(3))
+		gls.Start()
+		gbi.Start()
+		f := NewFleetIO(p, FleetIOConfig{
+			ShareModel: true, Train: train, GreedyCollect: greedy,
+			TrainEvery: 5, Seed: 4, ScalarRL: scalar,
+		})
+		var out run
+		adm := admission.NewController(p, nil)
+		r := &Runner{Plat: p, Adm: adm, Policy: f, Window: 100 * sim.Millisecond,
+			OnWindow: func(now sim.Time, snaps []vssd.WindowSnapshot) {}}
+		// Capture the per-window actions via a wrapping policy.
+		r.Policy = capturePolicy{f, &out.acts}
+		r.Start()
+		eng.RunUntil(5 * sim.Second)
+		for _, st := range f.TrainStats() {
+			out.stats = append(out.stats, st)
+		}
+		out.par = f.Net(0).Params()
+		return out
+	}
+	for _, mode := range []struct {
+		name          string
+		train, greedy bool
+	}{{"deploy", false, false}, {"train-sample", true, false}, {"train-greedy", true, true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			s := do(true, mode.train, mode.greedy)
+			b := do(false, mode.train, mode.greedy)
+			if len(s.acts) == 0 || len(s.acts) != len(b.acts) {
+				t.Fatalf("action streams differ in length: %d vs %d", len(s.acts), len(b.acts))
+			}
+			for i := range s.acts {
+				sa, ba := s.acts[i], b.acts[i]
+				if sa.VSSD != ba.VSSD || sa.Kind != ba.Kind || sa.BW != ba.BW || sa.Level != ba.Level {
+					t.Fatalf("action %d diverges: %+v != %+v", i, sa, ba)
+				}
+			}
+			if len(s.stats) != len(b.stats) {
+				t.Fatalf("train stats count: %d vs %d", len(s.stats), len(b.stats))
+			}
+			for i := range s.stats {
+				if s.stats[i] != b.stats[i] {
+					t.Fatalf("train stats %d diverge:\n%+v\n%+v", i, s.stats[i], b.stats[i])
+				}
+			}
+			for i := range s.par {
+				if s.par[i] != b.par[i] {
+					t.Fatalf("network param %d diverges", i)
+				}
+			}
+		})
+	}
+}
+
+// capturePolicy appends every decided action to a log before passing them on.
+type capturePolicy struct {
+	*FleetIO
+	log *[]vssd.Action
+}
+
+func (c capturePolicy) Decide(now sim.Time, snaps []vssd.WindowSnapshot) []vssd.Action {
+	acts := c.FleetIO.Decide(now, snaps)
+	*c.log = append(*c.log, acts...)
+	return acts
+}

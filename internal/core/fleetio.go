@@ -65,6 +65,14 @@ type FleetIOConfig struct {
 	// held-out eval episodes use it to score a frozen policy snapshot.
 	GreedyCollect bool
 
+	// ScalarRL disables the batched RL kernels: Decide falls back to
+	// per-agent scalar inference and PPO trains with per-sample network
+	// calls. Both paths are bit-identical by construction; the flag lets
+	// CI (scripts/check.sh) prove it on full figure runs and serves as an
+	// escape hatch. Applied after RL-default resolution, so it works even
+	// when cfg.RL is left zero.
+	ScalarRL bool
+
 	// ErrorRateState appends the per-tenant NAND error-rate feature
 	// (write retries / requests per window) to every window state, used
 	// by fault-injection scenarios. It widens the network input, so it is
@@ -113,6 +121,13 @@ type FleetIO struct {
 
 	windows    int64
 	trainStats []rl.TrainStats
+
+	// Per-window scratch, reused across Decide calls (a pretraining run
+	// makes hundreds of thousands of them).
+	singleS, mixedS, iopsS, vioS []float64
+	stateRows                    []float64
+	actsOut                      []vssd.Action
+	stateDim                     int
 }
 
 // NewFleetIO builds the policy for a platform's current vSSDs.
@@ -140,12 +155,18 @@ func NewFleetIO(plat *vssd.Platform, cfg FleetIOConfig) *FleetIO {
 		}
 		cfg.RL = rcfg
 	}
+	// After the default resolution above, which would clobber the flag when
+	// the rest of cfg.RL is zero.
+	if cfg.ScalarRL {
+		cfg.RL.ScalarKernels = true
+	}
 	f := &FleetIO{cfg: cfg, plat: plat, rng: sim.NewRNG(cfg.Seed)}
 	width := StatesPerWindow
 	if cfg.ErrorRateState {
 		width = StatesPerWindowExt
 	}
 	dim := cfg.HistoryWindows * width
+	f.stateDim = dim
 	heads := []int{len(HarvestLevels), len(HarvestLevels), len(PriorityLevels)}
 	newNet := func(r *sim.RNG) *nn.ActorCritic {
 		if cfg.Pretrained != nil {
@@ -232,8 +253,15 @@ func (f *FleetIO) Decide(now sim.Time, snaps []vssd.WindowSnapshot) []vssd.Actio
 		panic(fmt.Sprintf("core: %d snapshots for %d agents", len(snaps), n))
 	}
 
+	if cap(f.singleS) < n {
+		f.singleS = make([]float64, n)
+		f.mixedS = make([]float64, n)
+		f.iopsS = make([]float64, n)
+		f.vioS = make([]float64, n)
+	}
+
 	// Rewards for the window that just closed.
-	single := make([]float64, n)
+	single := f.singleS[:n]
 	for i, a := range f.agents {
 		alpha := a.alpha
 		if f.cfg.Mode == ModeUnifiedGlobal {
@@ -241,12 +269,12 @@ func (f *FleetIO) Decide(now sim.Time, snaps []vssd.WindowSnapshot) []vssd.Actio
 		}
 		single[i] = SingleReward(alpha, snaps[i], a.scales.GuaranteedBW, f.cfg.SLOVioGuar)
 	}
-	mixed := MixRewards(single, f.cfg.Beta)
+	mixed := MixRewardsInto(single, f.mixedS, f.cfg.Beta)
 
 	// Shared states (Σ over collocated agents, §3.3.1).
 	var totIOPS, totVio float64
-	iops := make([]float64, n)
-	vio := make([]float64, n)
+	iops := f.iopsS[:n]
+	vio := f.vioS[:n]
 	for i, s := range snaps {
 		dur := s.Duration
 		if dur <= 0 {
@@ -263,36 +291,61 @@ func (f *FleetIO) Decide(now sim.Time, snaps []vssd.WindowSnapshot) []vssd.Actio
 		f.retype()
 	}
 
-	actions := make([]vssd.Action, 0, 3*n)
+	actions := f.actsOut[:0]
 	chanBW := f.plat.FlashConfig().ChannelBandwidth()
-	for i, a := range f.agents {
-		// Record the transition closed by this window.
-		if a.pending && f.cfg.Train {
-			a.buf.Add(rl.Transition{
-				State:   a.lastState,
-				Actions: a.lastActions,
-				LogProb: a.lastLogProb,
-				Value:   a.lastValue,
-				Reward:  mixed[i],
-			})
-		}
-		// New stacked state.
-		var ws []float64
-		if f.cfg.ErrorRateState {
-			ws = EncodeWindowExt(snaps[i], a.scales, totIOPS-iops[i], totVio-vio[i])
-		} else {
-			ws = EncodeWindow(snaps[i], a.scales, totIOPS-iops[i], totVio-vio[i])
-		}
-		a.hist.Push(ws)
-		state := a.hist.Vector()
 
+	// One batched matrix pass per decision window in shared-model mode:
+	// every agent's stacked state runs through the network together, with
+	// the categorical sampling consuming the shared RNG in the same
+	// (agent, head) order as the per-agent loop — bit-identical by
+	// construction (see internal/nn/batch.go). On windows where an agent
+	// may train the shared network mid-loop, the scalar path runs instead
+	// so the act/train interleaving is preserved exactly.
+	batched := f.shared != nil && !f.cfg.ScalarRL &&
+		(!f.cfg.Train || f.windows%int64(f.cfg.TrainEvery) != 0)
+	if batched {
+		if cap(f.stateRows) < n*f.stateDim {
+			f.stateRows = make([]float64, n*f.stateDim)
+		}
+		rows := f.stateRows[:n*f.stateDim]
+		for i, a := range f.agents {
+			state := f.closeWindow(a, snaps[i], mixed[i], totIOPS-iops[i], totVio-vio[i])
+			copy(rows[i*f.stateDim:(i+1)*f.stateDim], state)
+			if f.cfg.Train {
+				a.lastState = state
+			}
+		}
+		var bActs [][]int
+		var bLPs, bVals []float64
+		if !f.cfg.Train {
+			bActs = f.shared.ActGreedyBatch(rows, n)
+		} else if f.cfg.GreedyCollect {
+			bActs, bLPs, bVals = f.shared.ActGreedyEvalBatch(rows, n)
+		} else {
+			bActs, bLPs, bVals = f.shared.ActBatch(rows, n)
+		}
+		for i, a := range f.agents {
+			if f.cfg.Train {
+				a.lastActions = bActs[i]
+				a.lastLogProb = bLPs[i]
+				a.lastValue = bVals[i]
+				a.pending = true
+			}
+			actions = f.emit(actions, i, a, bActs[i], vio[i], chanBW, single[i], mixed[i])
+		}
+		f.actsOut = actions
+		return actions
+	}
+
+	for i, a := range f.agents {
+		state := f.closeWindow(a, snaps[i], mixed[i], totIOPS-iops[i], totVio-vio[i])
 		var acts []int
 		if f.cfg.Train {
 			// Both pretraining and deployed fine-tuning sample the
 			// stochastic policy: exploration is what lets the agents keep
 			// matching harvest supply to the collocated demand (the
 			// harvested superblocks drain and must be re-negotiated every
-			// few windows). The α-gated priority cap above bounds the
+			// few windows). The α-gated priority cap in emit bounds the
 			// damage of a bad sample to the latency tenants.
 			var lp, val float64
 			if f.cfg.GreedyCollect {
@@ -312,37 +365,68 @@ func (f *FleetIO) Decide(now sim.Time, snaps []vssd.WindowSnapshot) []vssd.Actio
 		} else {
 			acts = a.ppo.ActGreedy(state)
 		}
+		actions = f.emit(actions, i, a, acts, vio[i], chanBW, single[i], mixed[i])
+	}
+	f.actsOut = actions
+	return actions
+}
 
-		// Priority boosts exist "to help each vSSD meet the performance
-		// isolation goal" (§3.3.2). A bandwidth-typed agent (α=0) has no
-		// isolation term in its reward, so nothing stops it from squatting
-		// on the highest priority and starving collocated latency-sensitive
-		// tenants; cap it at medium. Conversely, a latency-typed agent that
-		// is currently blowing its SLO budget escalates immediately —
-		// §3.3.2's "if a vSSD experiences high SLO violations ... the RL
-		// agent will increase the priority level", enforced as a guardrail
-		// so one badly sampled action cannot cost a window of tail latency.
-		level := PriorityLevels[acts[2]]
-		if a.alpha <= 1e-9 {
-			if level > 2 {
-				level = 2
-			}
-		} else if vio[i] > f.cfg.SLOVioGuar && level < 3 {
-			level = 3
+// closeWindow records the transition ended by this window (when one is
+// pending) and pushes the agent's new window state, returning the stacked
+// state vector.
+func (f *FleetIO) closeWindow(a *agent, snap vssd.WindowSnapshot, reward, otherIOPS, otherVio float64) []float64 {
+	if a.pending && f.cfg.Train {
+		a.buf.Add(rl.Transition{
+			State:   a.lastState,
+			Actions: a.lastActions,
+			LogProb: a.lastLogProb,
+			Value:   a.lastValue,
+			Reward:  reward,
+		})
+	}
+	var ws []float64
+	if f.cfg.ErrorRateState {
+		ws = EncodeWindowExt(snap, a.scales, otherIOPS, otherVio)
+	} else {
+		ws = EncodeWindow(snap, a.scales, otherIOPS, otherVio)
+	}
+	a.hist.Push(ws)
+	return a.hist.Vector()
+}
+
+// emit applies the action guardrails and appends agent i's three per-window
+// actions (and observability records) to the actions slice.
+//
+// Priority boosts exist "to help each vSSD meet the performance
+// isolation goal" (§3.3.2). A bandwidth-typed agent (α=0) has no
+// isolation term in its reward, so nothing stops it from squatting
+// on the highest priority and starving collocated latency-sensitive
+// tenants; cap it at medium. Conversely, a latency-typed agent that
+// is currently blowing its SLO budget escalates immediately —
+// §3.3.2's "if a vSSD experiences high SLO violations ... the RL
+// agent will increase the priority level", enforced as a guardrail
+// so one badly sampled action cannot cost a window of tail latency.
+func (f *FleetIO) emit(actions []vssd.Action, i int, a *agent, acts []int, vioRate, chanBW, single, mixed float64) []vssd.Action {
+	level := PriorityLevels[acts[2]]
+	if a.alpha <= 1e-9 {
+		if level > 2 {
+			level = 2
 		}
-		makeBW := float64(HarvestLevels[acts[1]]) * chanBW
-		harvestBW := float64(HarvestLevels[acts[0]]) * chanBW
-		actions = append(actions,
-			vssd.Action{VSSD: i, Kind: vssd.ActMakeHarvestable, BW: makeBW},
-			vssd.Action{VSSD: i, Kind: vssd.ActHarvest, BW: harvestBW},
-			vssd.Action{VSSD: i, Kind: vssd.ActSetPriority, Level: level},
-		)
-		if f.cfg.Obs.Enabled() {
-			f.cfg.Obs.Reward(i, single[i], mixed[i])
-			f.cfg.Obs.Decision(obs.KindMakeHarvestable, i, makeBW, 0)
-			f.cfg.Obs.Decision(obs.KindHarvest, i, harvestBW, 0)
-			f.cfg.Obs.Decision(obs.KindSetPriority, i, 0, level)
-		}
+	} else if vioRate > f.cfg.SLOVioGuar && level < 3 {
+		level = 3
+	}
+	makeBW := float64(HarvestLevels[acts[1]]) * chanBW
+	harvestBW := float64(HarvestLevels[acts[0]]) * chanBW
+	actions = append(actions,
+		vssd.Action{VSSD: i, Kind: vssd.ActMakeHarvestable, BW: makeBW},
+		vssd.Action{VSSD: i, Kind: vssd.ActHarvest, BW: harvestBW},
+		vssd.Action{VSSD: i, Kind: vssd.ActSetPriority, Level: level},
+	)
+	if f.cfg.Obs.Enabled() {
+		f.cfg.Obs.Reward(i, single, mixed)
+		f.cfg.Obs.Decision(obs.KindMakeHarvestable, i, makeBW, 0)
+		f.cfg.Obs.Decision(obs.KindHarvest, i, harvestBW, 0)
+		f.cfg.Obs.Decision(obs.KindSetPriority, i, 0, level)
 	}
 	return actions
 }

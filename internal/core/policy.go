@@ -16,7 +16,8 @@ import (
 // called once per decision window with that window's snapshots, in vSSD
 // order; returned actions are executed through admission control (harvest
 // actions) or directly (the rest). Stateful policies (FleetIO, Adaptive)
-// keep history between calls.
+// keep history between calls. The returned slice is only valid until the
+// next Decide call — implementations may reuse it as scratch.
 type Policy interface {
 	Name() string
 	Decide(now sim.Time, snaps []vssd.WindowSnapshot) []vssd.Action

@@ -45,8 +45,14 @@ func SingleReward(alpha float64, snap vssd.WindowSnapshot, guaranteedBW, sloVioG
 // MixRewards applies Eq. 2: each agent's reward becomes
 // β·own + (1-β)·mean(others). A single agent keeps its own reward.
 func MixRewards(single []float64, beta float64) []float64 {
+	return MixRewardsInto(single, make([]float64, len(single)), beta)
+}
+
+// MixRewardsInto is MixRewards writing into caller-provided storage, for
+// per-window callers that reuse scratch.
+func MixRewardsInto(single, out []float64, beta float64) []float64 {
 	n := len(single)
-	out := make([]float64, n)
+	out = out[:n]
 	if n == 1 {
 		out[0] = single[0]
 		return out

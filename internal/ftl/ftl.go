@@ -121,6 +121,15 @@ type Manager struct {
 	freePools [][]int // per (channel*chips+chip): stack of free block indices
 	freeCount []int   // per channel
 	tenants   []*Tenant
+	// fullSets[t] is a bitmap over block indices of the blocks with
+	// state == BlockFull && owner == t — the GC victim candidates.
+	// Maintained at every transition into or out of BlockFull (fullMark /
+	// fullUnmark) so pickVictim scans a few hundred words instead of the
+	// whole block table. Membership is keyed on (state, owner) only; the
+	// per-block class/valid inputs to victim selection are read fresh at
+	// scan time, so invalidations and bad/harvested flips need no index
+	// maintenance.
+	fullSets [][]uint64
 
 	// Submit sends a flash op to the device; the platform layer installs it
 	// (wrapping accounting). Defaults to dev.Submit.
@@ -248,6 +257,7 @@ func (m *Manager) markBad(idx int) {
 			m.tenants[b.user].sealActive(idx)
 		}
 		b.state = BlockFull
+		m.fullMark(b.owner, idx)
 	}
 	if b.owner >= 0 {
 		t := m.tenants[b.owner]
@@ -275,6 +285,25 @@ func (m *Manager) retireBlock(idx int) {
 	b.pageTenant = b.pageTenant[:0]
 	b.pageLPN = b.pageLPN[:0]
 	m.stats.Retired++
+}
+
+// fullMark records block idx as a GC victim candidate for its owner. Call
+// exactly when the block enters BlockFull state (owner -1 means the block
+// has no collecting tenant, e.g. a sealed orphan; nothing to index).
+func (m *Manager) fullMark(owner, idx int) {
+	if owner < 0 {
+		return
+	}
+	m.fullSets[owner][idx>>6] |= 1 << (uint(idx) & 63)
+}
+
+// fullUnmark drops block idx from its owner's candidate set. Call exactly
+// when the block leaves BlockFull state (→ BlockGC), before owner is reset.
+func (m *Manager) fullUnmark(owner, idx int) {
+	if owner < 0 {
+		return
+	}
+	m.fullSets[owner][idx>>6] &^= 1 << (uint(idx) & 63)
 }
 
 func (m *Manager) poolIndex(ch, chip int) int { return ch*m.cfg.ChipsPerChannel + chip }
@@ -384,12 +413,18 @@ func (m *Manager) releaseGCJob(j *gcJob) {
 // paper skips channels under 25% free). It returns the lent block indices
 // (possibly empty).
 func (m *Manager) LendBlocks(ch, perChip, home, gsbID int, minFreeFrac float64) []int {
+	return m.LendBlocksInto(nil, ch, perChip, home, gsbID, minFreeFrac)
+}
+
+// LendBlocksInto is LendBlocks appending into dst, for per-window callers
+// (the gSB manager) that reuse block-index storage. dst comes back
+// unchanged when the channel fails the free floor.
+func (m *Manager) LendBlocksInto(dst []int, ch, perChip, home, gsbID int, minFreeFrac float64) []int {
 	perChannel := m.cfg.ChipsPerChannel * m.cfg.BlocksPerChip
 	want := perChip * m.cfg.ChipsPerChannel
 	if float64(m.freeCount[ch]-want)/float64(perChannel) < minFreeFrac {
-		return nil
+		return dst
 	}
-	var lent []int
 	for chip := 0; chip < m.cfg.ChipsPerChannel; chip++ {
 		for n := 0; n < perChip; n++ {
 			idx, ok := m.allocBlock(ch, chip, false)
@@ -402,10 +437,10 @@ func (m *Manager) LendBlocks(ch, perChip, home, gsbID int, minFreeFrac float64) 
 			b.user = -1
 			b.harvested = true
 			b.gsb = gsbID
-			lent = append(lent, idx)
+			dst = append(dst, idx)
 		}
 	}
-	return lent
+	return dst
 }
 
 // ReturnCleanBlock puts a lent, never-written block straight back into the

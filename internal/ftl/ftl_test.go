@@ -544,6 +544,110 @@ func TestWriteAmplificationIdentity(t *testing.T) {
 	}
 }
 
+// pickVictimScan is the reference victim selection: the pre-index linear
+// scan over the whole block table. pickVictim must match it exactly,
+// including the lowest-index tie-break.
+func pickVictimScan(tn *Tenant) int {
+	best := -1
+	bestKey := [2]int{1 << 30, 1 << 30}
+	for i := range tn.mgr.blocks {
+		b := &tn.mgr.blocks[i]
+		if b.state != BlockFull || b.owner != tn.id {
+			continue
+		}
+		if b.valid >= tn.mgr.cfg.PagesPerBlock && !b.harvested && !b.bad {
+			continue
+		}
+		class := 1
+		if tn.mgr.HarvestedFirst && b.harvested {
+			class = 0
+		}
+		if b.bad {
+			class = -1
+		}
+		key := [2]int{class, b.valid}
+		if key[0] < bestKey[0] || (key[0] == bestKey[0] && key[1] < bestKey[1]) {
+			bestKey = key
+			best = i
+		}
+	}
+	return best
+}
+
+// checkFullSets asserts the candidate bitmaps hold exactly the blocks with
+// state == BlockFull && owner == t, for every tenant.
+func checkFullSets(t *testing.T, m *Manager) {
+	t.Helper()
+	for tid := range m.tenants {
+		set := m.fullSets[tid]
+		for i := range m.blocks {
+			b := &m.blocks[i]
+			want := b.state == BlockFull && b.owner == tid
+			got := set[i>>6]&(1<<(uint(i)&63)) != 0
+			if got != want {
+				t.Fatalf("fullSets[%d] bit %d = %v, want %v (state=%d owner=%d)",
+					tid, i, got, want, b.state, b.owner)
+			}
+		}
+	}
+}
+
+// Property: through a churny mixed workload — overwrites, trims, GC,
+// lending/harvesting, channel re-partitioning, and injected bad blocks —
+// the Full-block candidate index stays exact and pickVictim returns the
+// same block the reference whole-table scan would.
+func TestPickVictimMatchesScan(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PagesPerBlock = 4
+	eng, m := newTestMgr(t, cfg)
+	tn := NewTenant(m, 0, []int{0}, 128)
+	harv := NewTenant(m, 1, []int{1}, 128)
+	rng := sim.NewRNG(42)
+	check := func() {
+		checkFullSets(t, m)
+		for _, tenant := range m.tenants {
+			if got, want := tenant.pickVictim(), pickVictimScan(tenant); got != want {
+				t.Fatalf("tenant %d pickVictim = %d, want %d", tenant.id, got, want)
+			}
+		}
+	}
+	// Lend one chip-stripe of tenant 0's channel to the harvester.
+	lent := m.LendBlocks(0, 1, 0, 1, 0.0)
+	harv.AddHarvestLanes(1, lent)
+	bad := 0
+	for step := 0; step < 400; step++ {
+		switch rng.Intn(10) {
+		case 0:
+			tn.Trim(rng.Intn(128))
+		case 1:
+			harv.AllocatePage(rng.Intn(128), false)
+		case 2:
+			// Flag a random open/full block bad (exercises markBad's
+			// Open→Full seal and the class -1 victims). Capped so retired
+			// capacity can't starve GC migration into a retry livelock.
+			i := rng.Intn(len(m.blocks))
+			if st := m.blocks[i].state; bad < 4 && (st == BlockOpen || st == BlockFull) {
+				m.markBad(i)
+				bad++
+			}
+		case 3:
+			eng.Run()
+		default:
+			tn.AllocatePage(rng.Intn(128), false)
+		}
+		check()
+	}
+	// Drain GC, close the harvest lanes (seals dirty lent blocks), and
+	// re-partition the harvester's channels (seals dropped-lane blocks).
+	eng.Run()
+	harv.CloseHarvestLanes(1)
+	check()
+	harv.SetChannels([]int{})
+	check()
+	m.HarvestedFirst = false
+	check()
+}
+
 func TestTenantIDOrderEnforced(t *testing.T) {
 	_, m := newTestMgr(t, smallConfig())
 	defer func() {

@@ -2,6 +2,7 @@ package ftl
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/flash"
 	"repro/internal/sim"
@@ -86,6 +87,7 @@ func NewTenant(mgr *Manager, id int, channels []int, logicalPages int) *Tenant {
 		t.gcLanes = append(t.gcLanes, &lane{ch: ch, chip: 0, active: -1, own: true, gsb: -1})
 	}
 	mgr.tenants = append(mgr.tenants, t)
+	mgr.fullSets = append(mgr.fullSets, make([]uint64, (len(mgr.blocks)+63)/64))
 	return t
 }
 
@@ -163,7 +165,9 @@ func (t *Tenant) SetChannels(channels []int) {
 		// Dropped own lane: seal its open block so GC can reclaim it; the
 		// mapped data stays readable until overwritten or collected.
 		if ln.active >= 0 {
-			t.mgr.blocks[ln.active].state = BlockFull
+			b := &t.mgr.blocks[ln.active]
+			b.state = BlockFull
+			t.mgr.fullMark(b.owner, ln.active)
 			ln.active = -1
 		}
 	}
@@ -188,7 +192,9 @@ func (t *Tenant) SetChannels(channels []int) {
 			continue
 		}
 		if ln.active >= 0 {
-			t.mgr.blocks[ln.active].state = BlockFull
+			b := &t.mgr.blocks[ln.active]
+			b.state = BlockFull
+			t.mgr.fullMark(b.owner, ln.active)
 			ln.active = -1
 		}
 	}
@@ -253,6 +259,7 @@ func (t *Tenant) CloseHarvestLanes(gsbID int) (cleanReturned []int) {
 				cleanReturned = append(cleanReturned, ln.active)
 			} else {
 				b.state = BlockFull
+				t.mgr.fullMark(b.owner, ln.active)
 			}
 		}
 	}
@@ -391,6 +398,7 @@ func (t *Tenant) AllocatePage(lpn int, forGC bool) (flash.PPA, bool) {
 		t.mappedPages++
 		if b.writePtr == t.mgr.cfg.PagesPerBlock {
 			b.state = BlockFull
+			t.mgr.fullMark(b.owner, ln.active)
 			ln.active = -1
 		}
 		t.maybeGC()
@@ -475,6 +483,7 @@ func (t *Tenant) maybeGC() {
 		}
 		t.mgr.rec.GCRun(t.id, victim, t.mgr.blocks[victim].valid, t.mgr.blocks[victim].harvested)
 		t.mgr.blocks[victim].state = BlockGC
+		t.mgr.fullUnmark(t.id, victim)
 		t.gcJobs++
 		t.mgr.stats.GCRuns++
 		t.gcVictims++
@@ -494,35 +503,44 @@ func (t *Tenant) gcPriority() int {
 // pickVictim chooses the best Full block owned by this tenant: with
 // HarvestedFirst, harvested/reclaimed blocks are strictly preferred (the
 // §3.7 policy); ties and the rest order by fewest valid pages.
+//
+// Candidates come from the tenant's fullSets bitmap rather than a scan of
+// the whole block table (victim selection was ~8% of figure-run CPU).
+// Words and bits iterate in ascending block-index order and the comparison
+// stays a strict less-than, so the chosen victim — including the
+// lowest-index tie-break — is identical to the old linear scan's.
 func (t *Tenant) pickVictim() int {
 	best := -1
-	bestKey := [2]int{1 << 30, 1 << 30}
-	for i := range t.mgr.blocks {
-		b := &t.mgr.blocks[i]
-		if b.state != BlockFull || b.owner != t.id {
-			continue
-		}
-		// A fully valid regular block yields no free pages; collecting it
-		// would be pure write amplification (and can livelock GC
-		// re-arming). A fully valid *harvested* block is still worth
-		// collecting: its data migrates into the harvester's own space and
-		// the block returns to this tenant's pool. A *bad* block must be
-		// collected no matter what — its surviving pages need to move off
-		// the failing media before it is retired.
-		if b.valid >= t.mgr.cfg.PagesPerBlock && !b.harvested && !b.bad {
-			continue
-		}
-		class := 1
-		if t.mgr.HarvestedFirst && b.harvested {
-			class = 0
-		}
-		if b.bad {
-			class = -1
-		}
-		key := [2]int{class, b.valid}
-		if key[0] < bestKey[0] || (key[0] == bestKey[0] && key[1] < bestKey[1]) {
-			bestKey = key
-			best = i
+	bestClass, bestValid := 1<<30, 1<<30
+	full := t.mgr.fullSets[t.id]
+	for w, word := range full {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			// Set membership guarantees state == BlockFull && owner == t.id
+			// (pinned by TestPickVictimMatchesScan).
+			b := &t.mgr.blocks[i]
+			// A fully valid regular block yields no free pages; collecting
+			// it would be pure write amplification (and can livelock GC
+			// re-arming). A fully valid *harvested* block is still worth
+			// collecting: its data migrates into the harvester's own space
+			// and the block returns to this tenant's pool. A *bad* block
+			// must be collected no matter what — its surviving pages need
+			// to move off the failing media before it is retired.
+			if b.valid >= t.mgr.cfg.PagesPerBlock && !b.harvested && !b.bad {
+				continue
+			}
+			class := 1
+			if t.mgr.HarvestedFirst && b.harvested {
+				class = 0
+			}
+			if b.bad {
+				class = -1
+			}
+			if class < bestClass || (class == bestClass && b.valid < bestValid) {
+				bestClass, bestValid = class, b.valid
+				best = i
+			}
 		}
 	}
 	return best

@@ -67,6 +67,16 @@ type Manager struct {
 	rec *obs.Recorder
 
 	stats Stats
+
+	// freeG recycles finalized gSB metadata (and the grown Blocks/Channels
+	// arrays inside) — safe because finalize removes the gSB from every
+	// index and no caller retains *GSB across manager calls. reclaimS and
+	// harvestedS are iteration snapshots for loops that mutate the indexes
+	// they walk; they never nest (reclaim reaches neither SetHarvestable,
+	// ReclaimAllFrom, nor HarvestedBy).
+	freeG      []*GSB
+	reclaimS   []*GSB
+	harvestedS []*GSB
 }
 
 // SetObserver attaches a decision-event recorder for gSB lifecycle
@@ -135,7 +145,8 @@ func (m *Manager) SetHarvestable(home *ftl.Tenant, targetChls int) *GSB {
 		targetChls = 0
 	}
 	// Phase 1: reclaim oversized gSBs.
-	for _, g := range append([]*GSB(nil), m.byHome[home.ID()]...) {
+	m.reclaimS = append(m.reclaimS[:0], m.byHome[home.ID()]...)
+	for _, g := range m.reclaimS {
 		if !g.Reclaiming && g.NChls > targetChls {
 			m.reclaim(g)
 		}
@@ -148,29 +159,44 @@ func (m *Manager) SetHarvestable(home *ftl.Tenant, targetChls int) *GSB {
 	return m.create(home, deficit)
 }
 
+// grab pops a recycled gSB (keeping its grown Blocks/Channels arrays) or
+// allocates a fresh one.
+func (m *Manager) grab() *GSB {
+	if n := len(m.freeG); n > 0 {
+		g := m.freeG[n-1]
+		m.freeG[n-1] = nil
+		m.freeG = m.freeG[:n-1]
+		return g
+	}
+	return &GSB{}
+}
+
 // create builds a gSB of up to nchls channels from home's owned channels
 // that pass the free floor. Returns nil when no channel qualifies.
 func (m *Manager) create(home *ftl.Tenant, nchls int) *GSB {
 	id := m.nextID
-	var blocks []int
-	var chans []int
+	g := m.grab()
+	blocks := g.Blocks[:0]
+	chans := g.Channels[:0]
 	for _, ch := range home.Channels() {
 		if len(chans) == nchls {
 			break
 		}
-		lent := m.ftlm.LendBlocks(ch, m.BlocksPerChip, home.ID(), id, m.MinFreeFrac)
-		if len(lent) == 0 {
+		before := len(blocks)
+		blocks = m.ftlm.LendBlocksInto(blocks, ch, m.BlocksPerChip, home.ID(), id, m.MinFreeFrac)
+		if len(blocks) == before {
 			continue
 		}
-		blocks = append(blocks, lent...)
 		chans = append(chans, ch)
 	}
 	if len(chans) == 0 {
+		g.Blocks, g.Channels = blocks, chans // keep any grown capacity
+		m.freeG = append(m.freeG, g)
 		m.stats.CreateFailures++
 		return nil
 	}
 	m.nextID++
-	g := &GSB{
+	*g = GSB{
 		ID:       id,
 		NChls:    len(chans),
 		Capacity: int64(len(blocks)) * m.ftlm.BlockBytes(),
@@ -247,9 +273,11 @@ func (m *Manager) HarvestedChannels(harvester int) int {
 }
 
 // HarvestedBy returns the in-use gSBs of a harvester (live, including
-// reclaiming ones).
+// reclaiming ones). The slice is a reused snapshot, valid until the next
+// HarvestedBy call; Release may be called on its entries while iterating.
 func (m *Manager) HarvestedBy(harvester int) []*GSB {
-	return append([]*GSB(nil), m.byHarvester[harvester]...)
+	m.harvestedS = append(m.harvestedS[:0], m.byHarvester[harvester]...)
+	return m.harvestedS
 }
 
 // Release gives an in-use gSB back: the harvester's lanes close and the
@@ -265,7 +293,8 @@ func (m *Manager) Release(g *GSB) {
 // ReclaimAllFrom reclaims every live gSB of the given home tenant (used
 // when a vSSD is deallocated or its policy revokes harvesting).
 func (m *Manager) ReclaimAllFrom(home int) {
-	for _, g := range append([]*GSB(nil), m.byHome[home]...) {
+	m.reclaimS = append(m.reclaimS[:0], m.byHome[home]...)
+	for _, g := range m.reclaimS {
 		if !g.Reclaiming {
 			m.reclaim(g)
 		}
@@ -345,6 +374,7 @@ func (m *Manager) finalize(g *GSB) {
 	}
 	m.stats.Reclaimed++
 	m.rec.GSB(obs.KindGSBFinalize, g.ID, g.Home, g.Harvest, g.NChls)
+	m.freeG = append(m.freeG, g)
 }
 
 // String renders the gSB for diagnostics.

@@ -250,3 +250,19 @@ func TestBlockErasedHookIgnoresForeignBlocks(t *testing.T) {
 	f.gm.blockErased(0, -1)
 	f.gm.blockErased(0, 999)
 }
+
+// TestSetHarvestableSteadyStateAllocs pins the create/reclaim cycle at
+// zero steady-state allocations: gSB metadata comes from the free list and
+// block/channel storage is recycled (the cycle runs every decision window
+// for the lifetime of a deployment).
+func TestSetHarvestableSteadyStateAllocs(t *testing.T) {
+	f := newFixture(t)
+	cycle := func() {
+		f.gm.SetHarvestable(f.home, 1)
+		f.gm.SetHarvestable(f.home, 0)
+	}
+	cycle() // size the free list and scratch
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Fatalf("steady-state SetHarvestable cycle allocates %v per run", avg)
+	}
+}

@@ -25,6 +25,8 @@ type EpisodeSpec struct {
 	// Greedy selects argmax actions (held-out evaluation) instead of
 	// sampling the stochastic policy (collection).
 	Greedy bool
+	// ScalarRL forces the scalar RL kernels (see Options.ScalarRL).
+	ScalarRL bool
 }
 
 // pretrainSLOs calibrates quickly with a short hardware-isolated run.
@@ -64,6 +66,7 @@ func RunEpisode(spec EpisodeSpec, net *nn.ActorCritic) []*rl.Buffer {
 		TypeModel:      tm,
 		AlphaByCluster: alphas,
 		RL:             rcfg,
+		ScalarRL:       spec.ScalarRL,
 	})
 	for i, rec := range r.recs {
 		f.SetRecorder(i, rec)

@@ -333,6 +333,7 @@ func runMixedIsolation(mix MixSpec, kind PolicyKind, slos []sim.Time, opt Option
 		f := core.NewFleetIO(plat, core.FleetIOConfig{
 			Train: opt.TrainDuringRun, TrainEvery: 10, Seed: opt.Seed,
 			Pretrained: opt.Pretrained, TypeModel: tm, AlphaByCluster: alphas,
+			ScalarRL: opt.ScalarRL,
 		})
 		for i, name := range mix.Workloads {
 			if c, ok := tm.WorkloadCluster[name]; ok {

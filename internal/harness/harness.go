@@ -118,6 +118,11 @@ type Options struct {
 	// ShapeReplay tenants (each tenant replays the same records); empty
 	// means each tenant replays a trace synthesized from its own profile.
 	ReplayRecords []trace.Record
+	// ScalarRL forces FleetIO's original scalar (per-agent, per-sample)
+	// RL kernels instead of the batched matrix kernels. Both paths are
+	// bit-identical by construction; the flag exists so CI can prove it
+	// by diffing whole figure runs (see check.sh).
+	ScalarRL bool
 }
 
 // DefaultOptions returns fast, deterministic settings for tests/benches.
@@ -397,6 +402,7 @@ func (r *run) attachPolicy(kind PolicyKind, mix MixSpec) {
 			TypeModel:      tm,
 			AlphaByCluster: alphas,
 			ErrorRateState: r.opt.ErrorRateState && pretrained == nil,
+			ScalarRL:       r.opt.ScalarRL,
 			Obs:            r.plat.Observer(),
 		})
 		for i, rec := range r.recs {

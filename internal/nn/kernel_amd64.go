@@ -1,0 +1,82 @@
+//go:build amd64
+
+package nn
+
+import "math"
+
+// useAVX512 gates the assembly accumRows kernel. Detected once at package
+// init; tests flip it to pin the two implementations against each other.
+var useAVX512 = detectAVX512()
+
+// detectAVX512 reports whether the CPU and OS support AVX-512F (plus AVX
+// and FMA, which every AVX-512F part has — the vectorized tanh transcribes
+// math.archExp's FMA variant, selected by the math package exactly when
+// AVX && FMA are present). The build targets GOAMD64=v1, so the decision
+// must be made at runtime: CPUID for the feature bits, XGETBV for OS
+// save-state support of the ZMM and opmask register files.
+func detectAVX512() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	const fma = 1 << 12
+	if ecx1&(osxsave|avx|fma) != osxsave|avx|fma {
+		return false
+	}
+	// XCR0 must show XMM, YMM, opmask, ZMM_Hi256, and Hi16_ZMM state enabled.
+	xcr0, _ := xgetbv0()
+	if xcr0&0xe6 != 0xe6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx512f = 1 << 16
+	return ebx7&avx512f != 0
+}
+
+//go:noescape
+func accumRowsAVX512(dst, rows, coeffs []float64, n, ld, cs int)
+
+// tanhVecAVX512 writes math.Tanh(src[i]) into dst[i] for len(dst)&^7
+// elements, eight lanes at a time. It reports whether any NaN lane was
+// seen, in which case the caller must redo the slice with the scalar
+// function (every other input class — both Cephes branches, saturation,
+// ±Inf, ±0 — is reproduced bit for bit in the kernel itself).
+//
+//go:noescape
+func tanhVecAVX512(dst, src []float64) bool
+
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+// tanhConsts feeds tanhVecAVX512; the assembly addresses entries by byte
+// offset (index×8). Values are exactly those used by math.tanh (Cephes)
+// and the amd64 math.archExp assembly, so every lane computes the same
+// sequence of operations on the same constants as the scalar functions.
+var tanhConsts = [...]float64{
+	0:  0.625,                                                 // Cephes branch point
+	1:  0.5 * 8.8029691931113054295988e+01,                    // 0.5*MAXLOG: saturation bound
+	2:  2.0,                                                   //
+	3:  1.4426950408889634073599246810018920,                  // LOG2E
+	4:  0.69314718055966295651160180568695068359375,           // LN2U
+	5:  0.28235290563031577122588448175013436025525412068e-12, // LN2L
+	6:  0.0625,                                                // archExp range reduction
+	7:  2.4801587301587301587e-5,                              // Taylor c8 …
+	8:  1.9841269841269841270e-4,
+	9:  1.3888888888888888889e-3,
+	10: 8.3333333333333333333e-3,
+	11: 4.1666666666666666667e-2,
+	12: 1.6666666666666666667e-1, // … Taylor c3
+	13: 0.5,
+	14: 1.0,
+	15: -9.64399179425052238628e-1, // tanhP …
+	16: -9.92877231001918586564e1,
+	17: -1.61468768441708447952e3,
+	18: 1.12811678491632931402e2, // tanhQ …
+	19: 2.23548839060100448583e3,
+	20: 4.84406305325125486048e3,
+	21: math.Float64frombits(0x3FF), // exponent bias as a raw qword per lane
+}

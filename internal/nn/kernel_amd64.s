@@ -1,0 +1,321 @@
+#include "textflag.h"
+
+// func accumRowsAVX512(dst, rows, coeffs []float64, n, ld, cs int)
+//
+// dst[j] += Σ_k coeffs[k*cs] * rows[k*ld+j] with the k-sum kept SERIAL:
+// each dst lane is one accumulator chain updated with a separate multiply
+// then add per k, so every lane reproduces the scalar kernel's rounding
+// exactly. VFMADD is deliberately never used — fusing would skip the
+// intermediate round and change results. Vectorization is across j only.
+//
+// Two tile shapes keep enough independent add chains in flight to cover
+// the VADDPD latency: a 64-lane tile (eight ZMM accumulators — the first
+// four unmasked, the last four under opmasks K1..K4) taken while more
+// than 32 lanes remain, and a 32-lane fully-masked tile for the tail.
+// Masked-off lanes neither fault nor store, so any dst length runs
+// through the same code.
+//
+// Register plan (R14/R15 avoided — R14 is the goroutine register in the
+// internal ABI):
+//   DI dst tile ptr   SI rows tile ptr   DX coeffs base
+//   R8 lanes left     R9 ld*8            R10 cs*8         R13 n
+//   CX lanes in tile  AX mask scratch    R11 row ptr      R12 coeff ptr
+//   BX k countdown    Z0..Z7 accumulators, Z8 broadcast, Z9..Z16 products
+TEXT ·accumRowsAVX512(SB), NOSPLIT, $0-96
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), R8
+	MOVQ rows_base+24(FP), SI
+	MOVQ coeffs_base+48(FP), DX
+	MOVQ n+72(FP), R13
+	MOVQ ld+80(FP), R9
+	MOVQ cs+88(FP), R10
+	SHLQ $3, R9
+	SHLQ $3, R10
+
+tile:
+	TESTQ R8, R8
+	JLE   done
+	CMPQ  R8, $32
+	JG    big
+
+	// ---- small tile: ≤32 lanes, four masked accumulators ----
+	// K1..K4 are the bytes of (1<<lanes)-1.
+	MOVQ  R8, CX
+	MOVQ  $1, AX
+	SHLQ  CX, AX
+	DECQ  AX
+	KMOVB AX, K1
+	SHRQ  $8, AX
+	KMOVB AX, K2
+	SHRQ  $8, AX
+	KMOVB AX, K3
+	SHRQ  $8, AX
+	KMOVB AX, K4
+
+	VMOVUPD.Z (DI), K1, Z0
+	VMOVUPD.Z 64(DI), K2, Z1
+	VMOVUPD.Z 128(DI), K3, Z2
+	VMOVUPD.Z 192(DI), K4, Z3
+
+	MOVQ  SI, R11
+	MOVQ  DX, R12
+	MOVQ  R13, BX
+	TESTQ BX, BX
+	JLE   smallstore
+
+smallk:
+	VBROADCASTSD (R12), Z8
+	VMULPD.Z     (R11), Z8, K1, Z9
+	VMULPD.Z     64(R11), Z8, K2, Z10
+	VMULPD.Z     128(R11), Z8, K3, Z11
+	VMULPD.Z     192(R11), Z8, K4, Z12
+	VADDPD       Z9, Z0, Z0
+	VADDPD       Z10, Z1, Z1
+	VADDPD       Z11, Z2, Z2
+	VADDPD       Z12, Z3, Z3
+	ADDQ         R9, R11
+	ADDQ         R10, R12
+	DECQ         BX
+	JNZ          smallk
+
+smallstore:
+	VMOVUPD Z0, K1, (DI)
+	VMOVUPD Z1, K2, 64(DI)
+	VMOVUPD Z2, K3, 128(DI)
+	VMOVUPD Z3, K4, 192(DI)
+
+	LEAQ (DI)(CX*8), DI
+	LEAQ (SI)(CX*8), SI
+	SUBQ CX, R8
+	JMP  tile
+
+	// ---- big tile: >32 lanes — 32 unmasked + ≤32 masked, 8 chains ----
+big:
+	MOVQ $64, CX
+	CMPQ R8, CX
+	JGE  bigmask
+	MOVQ R8, CX
+bigmask:
+	MOVQ  CX, R11
+	LEAQ  -32(CX), CX
+	MOVQ  $1, AX
+	SHLQ  CX, AX
+	DECQ  AX
+	KMOVB AX, K1
+	SHRQ  $8, AX
+	KMOVB AX, K2
+	SHRQ  $8, AX
+	KMOVB AX, K3
+	SHRQ  $8, AX
+	KMOVB AX, K4
+	MOVQ  R11, CX
+
+	VMOVUPD   (DI), Z0
+	VMOVUPD   64(DI), Z1
+	VMOVUPD   128(DI), Z2
+	VMOVUPD   192(DI), Z3
+	VMOVUPD.Z 256(DI), K1, Z4
+	VMOVUPD.Z 320(DI), K2, Z5
+	VMOVUPD.Z 384(DI), K3, Z6
+	VMOVUPD.Z 448(DI), K4, Z7
+
+	MOVQ  SI, R11
+	MOVQ  DX, R12
+	MOVQ  R13, BX
+	TESTQ BX, BX
+	JLE   bigstore
+
+bigk:
+	VBROADCASTSD (R12), Z8
+	VMULPD       (R11), Z8, Z9
+	VMULPD       64(R11), Z8, Z10
+	VMULPD       128(R11), Z8, Z11
+	VMULPD       192(R11), Z8, Z12
+	VMULPD.Z     256(R11), Z8, K1, Z13
+	VMULPD.Z     320(R11), Z8, K2, Z14
+	VMULPD.Z     384(R11), Z8, K3, Z15
+	VMULPD.Z     448(R11), Z8, K4, Z16
+	VADDPD       Z9, Z0, Z0
+	VADDPD       Z10, Z1, Z1
+	VADDPD       Z11, Z2, Z2
+	VADDPD       Z12, Z3, Z3
+	VADDPD       Z13, Z4, Z4
+	VADDPD       Z14, Z5, Z5
+	VADDPD       Z15, Z6, Z6
+	VADDPD       Z16, Z7, Z7
+	ADDQ         R9, R11
+	ADDQ         R10, R12
+	DECQ         BX
+	JNZ          bigk
+
+bigstore:
+	VMOVUPD Z0, (DI)
+	VMOVUPD Z1, 64(DI)
+	VMOVUPD Z2, 128(DI)
+	VMOVUPD Z3, 192(DI)
+	VMOVUPD Z4, K1, 256(DI)
+	VMOVUPD Z5, K2, 320(DI)
+	VMOVUPD Z6, K3, 384(DI)
+	VMOVUPD Z7, K4, 448(DI)
+
+	LEAQ (DI)(CX*8), DI
+	LEAQ (SI)(CX*8), SI
+	SUBQ CX, R8
+	JMP  tile
+
+done:
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL   CX, CX
+	XGETBV
+	MOVL   AX, eax+0(FP)
+	MOVL   DX, edx+4(FP)
+	RET
+
+// func tanhVecAVX512(dst, src []float64) bool
+//
+// Packed transcription of math.Tanh: the Cephes rational branch
+// (|x| < 0.625), the exp branch (1 - 2/(exp(2|x|)+1) with sign restored),
+// and the ±1 saturation branch (|x| > 0.5*MAXLOG) are all computed and
+// blended by opmask, every lane performing exactly the operation sequence
+// of the scalar code — including math.archExp's FMA variant for the exp
+// call (the FMAs here mirror FMAs in that assembly, not fusions of scalar
+// mul/add pairs, so rounding matches bit for bit). NaN lanes are only
+// detected (sticky K4 → returned), and the caller redoes the slice with
+// the scalar function.
+//
+// Constant registers (loaded once): Z16 bias qword, Z17 0.625,
+// Z18 0.5*MAXLOG, Z19 2.0, Z20 log2(e), Z21 LN2U, Z22 LN2L, Z23 0.0625,
+// Z24..Z29 Taylor c8..c3, Z30 0.5, Z31 1.0.
+TEXT ·tanhVecAVX512(SB), NOSPLIT, $0-49
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	SHRQ $3, CX
+	KXORW K4, K4, K4
+	TESTQ CX, CX
+	JZ    tdone
+
+	VBROADCASTSD ·tanhConsts+168(SB), Z16
+	VBROADCASTSD ·tanhConsts+0(SB), Z17
+	VBROADCASTSD ·tanhConsts+8(SB), Z18
+	VBROADCASTSD ·tanhConsts+16(SB), Z19
+	VBROADCASTSD ·tanhConsts+24(SB), Z20
+	VBROADCASTSD ·tanhConsts+32(SB), Z21
+	VBROADCASTSD ·tanhConsts+40(SB), Z22
+	VBROADCASTSD ·tanhConsts+48(SB), Z23
+	VBROADCASTSD ·tanhConsts+56(SB), Z24
+	VBROADCASTSD ·tanhConsts+64(SB), Z25
+	VBROADCASTSD ·tanhConsts+72(SB), Z26
+	VBROADCASTSD ·tanhConsts+80(SB), Z27
+	VBROADCASTSD ·tanhConsts+88(SB), Z28
+	VBROADCASTSD ·tanhConsts+96(SB), Z29
+	VBROADCASTSD ·tanhConsts+104(SB), Z30
+	VBROADCASTSD ·tanhConsts+112(SB), Z31
+
+tloop:
+	VMOVUPD (SI), Z0
+	// z = |x|, sign = x ^ z, branch masks, NaN stickiness.
+	VPSLLQ $1, Z0, Z1
+	VPSRLQ $1, Z1, Z1
+	VXORPD Z1, Z0, Z2
+	VCMPPD $0x1D, Z17, Z1, K1 // GE_OS: z >= 0.625
+	VCMPPD $0x1E, Z18, Z1, K2 // GT_OS: z > 0.5*MAXLOG
+	VCMPPD $0x03, Z0, Z0, K3  // UNORD: NaN lanes
+	KORW   K3, K4, K4
+
+	// ---- archExp(u), u = 2z, FMA variant ----
+	VMULPD       Z19, Z1, Z3  // u = 2*z
+	VMULPD       Z20, Z3, Z4  // n = u*log2(e)
+	VCVTPD2DQ    Z4, Y5       // round to int32 (nearest-even)
+	VCVTDQ2PD    Y5, Z4
+	VFNMADD231PD Z21, Z4, Z3  // u -= n*LN2U
+	VFNMADD231PD Z22, Z4, Z3  // u -= n*LN2L
+	VMULPD       Z23, Z3, Z3  // u *= 0.0625
+	VMOVAPD      Z24, Z6      // Taylor: p = c8
+	VFMADD213PD  Z25, Z3, Z6  // p = p*u + c7
+	VFMADD213PD  Z26, Z3, Z6
+	VFMADD213PD  Z27, Z3, Z6
+	VFMADD213PD  Z28, Z3, Z6
+	VFMADD213PD  Z29, Z3, Z6
+	VFMADD213PD  Z30, Z3, Z6  // … + 0.5
+	VFMADD213PD  Z31, Z3, Z6  // … + 1.0
+	VMULPD       Z6, Z3, Z3   // u *= p, then square back 4 times:
+	VADDPD       Z19, Z3, Z7  // t = u + 2
+	VMULPD       Z7, Z3, Z3   // u *= t
+	VADDPD       Z19, Z3, Z7
+	VMULPD       Z7, Z3, Z3
+	VADDPD       Z19, Z3, Z7
+	VMULPD       Z7, Z3, Z3
+	VADDPD       Z19, Z3, Z7
+	VFMADD213PD  Z31, Z7, Z3  // u = t*u + 1
+	VPMOVSXDQ    Y5, Z5       // scale by 2^n: build the bits directly
+	VPADDQ       Z16, Z5, Z5
+	VPSLLQ       $52, Z5, Z5
+	VMULPD       Z5, Z3, Z8   // s = exp(2z)
+
+	// exp branch: 1 - 2/(s+1), sign restored onto the positive result.
+	VADDPD Z31, Z8, Z7
+	VDIVPD Z7, Z19, Z8
+	VSUBPD Z8, Z31, Z8
+	VORPD  Z2, Z8, Z8
+
+	// ---- Cephes rational branch: x + x*s2*P(s2)/Q(s2) ----
+	// Go's * and / are left-associative, so the scalar expression is
+	// ((x*s2)*num)/den — the division comes LAST, not num/den first.
+	VMULPD       Z0, Z0, Z9
+	VBROADCASTSD ·tanhConsts+120(SB), Z13
+	VMULPD       Z9, Z13, Z10 // num = P0*s2
+	VBROADCASTSD ·tanhConsts+128(SB), Z13
+	VADDPD       Z13, Z10, Z10
+	VMULPD       Z9, Z10, Z10
+	VBROADCASTSD ·tanhConsts+136(SB), Z13
+	VADDPD       Z13, Z10, Z10
+	VBROADCASTSD ·tanhConsts+144(SB), Z13
+	VADDPD       Z13, Z9, Z11 // den = s2 + Q0
+	VMULPD       Z9, Z11, Z11
+	VBROADCASTSD ·tanhConsts+152(SB), Z13
+	VADDPD       Z13, Z11, Z11
+	VMULPD       Z9, Z11, Z11
+	VBROADCASTSD ·tanhConsts+160(SB), Z13
+	VADDPD       Z13, Z11, Z11
+	VMULPD       Z9, Z0, Z12  // t = x*s2
+	VMULPD       Z10, Z12, Z12
+	VDIVPD       Z11, Z12, Z12
+	VADDPD       Z12, Z0, Z12
+
+	// Blend: rational result; x itself where x == ±0 (the scalar code
+	// early-returns x there, and the polynomial turns -0 into +0);
+	// the exp branch where z >= 0.625; ±1 where z saturates.
+	VPTESTNMQ Z1, Z1, K5
+	VMOVAPD   Z0, K5, Z12
+	VMOVAPD   Z8, K1, Z12
+	VORPD     Z2, Z31, Z7
+	VMOVAPD   Z7, K2, Z12
+	VMOVUPD   Z12, (DI)
+
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  tloop
+
+tdone:
+	KMOVW K4, AX
+	TESTL AX, AX
+	SETNE ret+48(FP)
+	VZEROUPPER
+	RET

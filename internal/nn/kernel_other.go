@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package nn
+
+// useAVX512 is a constant off amd64, so the compiler removes the dispatch
+// branch and the stub below entirely.
+const useAVX512 = false
+
+func accumRowsAVX512(dst, rows, coeffs []float64, n, ld, cs int) {
+	panic("nn: accumRowsAVX512 called on non-amd64")
+}
+
+func tanhVecAVX512(dst, src []float64) bool {
+	panic("nn: tanhVecAVX512 called on non-amd64")
+}

@@ -5,6 +5,12 @@
 // heads and a value head, the Adam optimizer, softmax/categorical
 // utilities, and gob serialization. It replaces the paper's
 // PyTorch/RLlib stack.
+//
+// Alongside the scalar per-state kernels, ForwardBatch/BackwardBatch
+// process B×In row-major batches through reusable BatchCache scratch —
+// bit-identical to the scalar path (same FP operation order; see
+// docs/PERFORMANCE.md "Batched RL kernels") and allocation-free in
+// steady state.
 package nn
 
 import (
@@ -26,7 +32,21 @@ type Linear struct {
 	GW, GB []float64 // accumulated gradients
 	MW, VW []float64 // Adam first/second moments for W
 	MB, VB []float64 // Adam moments for B
+
+	// Transposed-weight cache for the batched forward path (batch.go):
+	// wt is W laid out In×Out so one accumRows pass per state streams
+	// contiguous rows. rev counts weight mutations; wt is rebuilt lazily
+	// whenever wtRev falls behind. Every in-package mutator (Adam.Step,
+	// SetParams, gob decode, Clone) keeps this coherent; code that writes
+	// W directly must call NoteWeightsChanged before the next batched call.
+	wt         []float64
+	wtRev, rev uint64
 }
+
+// NoteWeightsChanged invalidates the transposed-weight caches used by the
+// batched forward kernels. In-package mutators handle this automatically;
+// call it only after assigning to W directly.
+func (l *Linear) NoteWeightsChanged() { l.rev++ }
 
 // NewLinear builds a layer with Xavier/Glorot-uniform initialization.
 func NewLinear(in, out int, rng *sim.RNG) *Linear {
@@ -137,6 +157,7 @@ func (a *Adam) Step(layers []*Linear, batch float64) {
 	for _, l := range layers {
 		upd(l.W, l.GW, l.MW, l.VW)
 		upd(l.B, l.GB, l.MB, l.VB)
+		l.NoteWeightsChanged()
 	}
 }
 
@@ -213,6 +234,26 @@ type ActorCritic struct {
 	valOut                   []float64
 	dA2, dTmp, dH2, dA1, dH1 []float64
 	dVal                     [1]float64
+
+	// Batched counterparts (batch.go), sized to the largest batch seen
+	// (batchCap rows) under the same zero-steady-state-allocation contract.
+	bw                            *BatchCache
+	batchCap                      int
+	logitsB                       [][]float64
+	valOutB                       []float64
+	dA2B, dTmpB, dH2B, dA1B, dH1B []float64
+
+	// Fused output block for the batched forward: all policy heads plus
+	// the value head as one h2×(Σ headOut + 1) transposed weight matrix,
+	// so one accumRows pass per state covers every output unit instead of
+	// one tiny matrix product per head. Rebuilt when any source layer's
+	// rev moves (headsRevs mirrors Heads then Value).
+	headsWT, headsBias, headsOutB []float64
+	headsRevs                     []uint64
+
+	// layers caches the Layers() slice — ZeroGrad and every optimizer step
+	// ask for it, and the layer set never changes after construction.
+	layers []*Linear
 }
 
 // NewActorCritic builds the network: in → hidden tanh → hidden tanh →
@@ -320,11 +361,13 @@ func (ac *ActorCritic) Backward(c *Cache, dLogits [][]float64, dValue float64) {
 	ac.L1.Backward(c.X, dH1, nil)
 }
 
-// Layers returns every trainable layer.
+// Layers returns every trainable layer. The slice is cached (the layer set
+// is fixed after construction); callers must not modify it.
 func (ac *ActorCritic) Layers() []*Linear {
-	out := []*Linear{ac.L1, ac.L2, ac.Value}
-	out = append(out, ac.Heads...)
-	return out
+	if ac.layers == nil {
+		ac.layers = append([]*Linear{ac.L1, ac.L2, ac.Value}, ac.Heads...)
+	}
+	return ac.layers
 }
 
 // ZeroGrad clears all gradient accumulators.
@@ -384,6 +427,7 @@ func (ac *ActorCritic) SetParams(p []float64) error {
 	for _, l := range ac.Layers() {
 		i += copy(l.W, p[i:i+len(l.W)])
 		i += copy(l.B, p[i:i+len(l.B)])
+		l.NoteWeightsChanged()
 	}
 	return nil
 }

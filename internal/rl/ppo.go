@@ -3,6 +3,11 @@
 // γ=0.9, lr=1e-4, hidden [50,50], batch 32). The policy is multi-discrete:
 // one categorical head per action dimension (Harvest, Make_Harvestable,
 // Set_Priority), sampled independently with a joint log-probability.
+//
+// Train runs each minibatch through one batched forward/backward pair and
+// ActBatch serves many agents in one matrix pass; both are bit-identical
+// to the per-sample path, which Config.ScalarKernels keeps selectable as
+// the oracle (see docs/PERFORMANCE.md "Batched RL kernels").
 package rl
 
 import (
@@ -22,6 +27,12 @@ type Config struct {
 	MiniBatch   int     // minibatch size
 	EntropyCoef float64
 	ValueCoef   float64
+
+	// ScalarKernels forces Train's per-sample scalar inner loop instead of
+	// the batched nn kernels. The two paths are bit-identical by
+	// construction (see internal/nn/batch.go); the flag exists so tests and
+	// the CI gate can prove it on full runs, and as an escape hatch.
+	ScalarKernels bool
 }
 
 // DefaultConfig returns the paper's hyperparameters (Table 3) with
@@ -133,6 +144,47 @@ type PPO struct {
 	probs   [][]float64
 	dLogits [][]float64
 	greedy  []int
+
+	// Batched scratch: row-major minibatch matrices for Train and the
+	// ActBatch family, grown to the largest batch seen (trainCap) so steady
+	// state allocates nothing. advS/retS/orderS persist the GAE buffers
+	// across Train calls for the same reason.
+	trainCap  int
+	xsB       []float64
+	probsB    [][]float64
+	dLogitsB  [][]float64
+	dValsB    []float64
+	logProbsB []float64
+	valsB     []float64
+	actsB     [][]int
+	actsBack  []int
+	advS      []float64
+	retS      []float64
+	orderS    []int
+}
+
+// batchScratch sizes the batched minibatch scratch for b rows.
+func (p *PPO) batchScratch(b int) {
+	if b <= p.trainCap {
+		return
+	}
+	heads := p.Net.Heads
+	p.xsB = make([]float64, b*p.Net.L1.In)
+	p.probsB = make([][]float64, len(heads))
+	p.dLogitsB = make([][]float64, len(heads))
+	for k, hd := range heads {
+		p.probsB[k] = make([]float64, b*hd.Out)
+		p.dLogitsB[k] = make([]float64, b*hd.Out)
+	}
+	p.dValsB = make([]float64, b)
+	p.logProbsB = make([]float64, b)
+	p.valsB = make([]float64, b)
+	p.actsBack = make([]int, b*len(heads))
+	p.actsB = make([][]int, b)
+	for r := range p.actsB {
+		p.actsB[r] = p.actsBack[r*len(heads) : (r+1)*len(heads)]
+	}
+	p.trainCap = b
 }
 
 // scratchFor sizes the per-head scratch to match the forward logits.
@@ -212,9 +264,84 @@ func (p *PPO) Value(state []float64) float64 {
 	return v
 }
 
+// ActBatch is Act over b states stacked row-major in states (b×In). It is
+// bit-identical to calling Act on each row in ascending order: the forward
+// pass is batched, and the categorical sampling consumes the shared RNG in
+// the same (row, head) order the scalar loop would. Each actions row is
+// freshly allocated (transitions retain them); logProbs and values are
+// scratch reused by the next batched call.
+func (p *PPO) ActBatch(states []float64, b int) (actions [][]int, logProbs, values []float64) {
+	p.batchScratch(b)
+	logits, vals, _ := p.Net.ForwardBatch(states, b)
+	actions = make([][]int, b)
+	for r := 0; r < b; r++ {
+		acts := make([]int, len(logits))
+		lp := 0.0
+		for k, ls := range logits {
+			w := p.Net.Heads[k].Out
+			pr := p.probsB[k][r*w : (r+1)*w]
+			nn.Softmax(ls[r*w:(r+1)*w], pr)
+			a := nn.SampleCategorical(p.rng, pr)
+			acts[k] = a
+			lp += math.Log(math.Max(pr[a], 1e-12))
+		}
+		actions[r] = acts
+		p.logProbsB[r] = lp
+	}
+	copy(p.valsB[:b], vals)
+	return actions, p.logProbsB[:b], p.valsB[:b]
+}
+
+// ActGreedyBatch is ActGreedy over b stacked states. The returned rows are
+// views into scratch reused by the next batched call.
+func (p *PPO) ActGreedyBatch(states []float64, b int) [][]int {
+	p.batchScratch(b)
+	logits, _, _ := p.Net.ForwardBatch(states, b)
+	for r := 0; r < b; r++ {
+		for k, ls := range logits {
+			w := p.Net.Heads[k].Out
+			p.actsB[r][k] = nn.Argmax(ls[r*w : (r+1)*w])
+		}
+	}
+	return p.actsB[:b]
+}
+
+// ActGreedyEvalBatch is ActGreedyEval over b stacked states, bit-identical
+// to the scalar calls in row order. Actions rows are freshly allocated;
+// logProbs and values are reused scratch.
+func (p *PPO) ActGreedyEvalBatch(states []float64, b int) (actions [][]int, logProbs, values []float64) {
+	p.batchScratch(b)
+	logits, vals, _ := p.Net.ForwardBatch(states, b)
+	actions = make([][]int, b)
+	for r := 0; r < b; r++ {
+		acts := make([]int, len(logits))
+		lp := 0.0
+		for k, ls := range logits {
+			w := p.Net.Heads[k].Out
+			row := ls[r*w : (r+1)*w]
+			a := nn.Argmax(row)
+			acts[k] = a
+			pr := p.probsB[k][r*w : (r+1)*w]
+			nn.Softmax(row, pr)
+			lp += math.Log(math.Max(pr[a], 1e-12))
+		}
+		actions[r] = acts
+		p.logProbsB[r] = lp
+	}
+	copy(p.valsB[:b], vals)
+	return actions, p.logProbsB[:b], p.valsB[:b]
+}
+
 // Train runs PPO on the buffered transitions. lastValue bootstraps the
 // return of the final transition when the episode did not terminate. The
 // buffer is consumed (reset) afterwards.
+//
+// Unless cfg.ScalarKernels is set, each minibatch makes one ForwardBatch /
+// BackwardBatch pair instead of per-sample network calls. The two inner
+// loops are bit-identical: batched rows follow the shuffled sample order,
+// every per-sample scalar computation (softmax, surrogate, entropy, loss
+// accumulation) runs in that same order, and the batched kernels reproduce
+// the scalar kernels' operation sequence exactly (internal/nn/batch.go).
 func (p *PPO) Train(buf *Buffer, lastValue float64) TrainStats {
 	n := buf.Len()
 	stats := TrainStats{Steps: n}
@@ -223,9 +350,14 @@ func (p *PPO) Train(buf *Buffer, lastValue float64) TrainStats {
 	}
 	steps := buf.steps
 
-	// GAE advantages and returns, computed backwards.
-	adv := make([]float64, n)
-	ret := make([]float64, n)
+	// GAE advantages and returns, computed backwards (persistent scratch —
+	// Train runs every few windows for the lifetime of a deployment).
+	if cap(p.advS) < n {
+		p.advS = make([]float64, n)
+		p.retS = make([]float64, n)
+		p.orderS = make([]int, n)
+	}
+	adv, ret, order := p.advS[:n], p.retS[:n], p.orderS[:n]
 	next := lastValue
 	gae := 0.0
 	for i := n - 1; i >= 0; i-- {
@@ -260,64 +392,125 @@ func (p *PPO) Train(buf *Buffer, lastValue float64) TrainStats {
 	var polLoss, valLoss, entSum, klSum float64
 	var clipped, visited float64
 	for epoch := 0; epoch < p.cfg.Epochs; epoch++ {
-		order := p.rng.Perm(n)
+		p.rng.PermInto(order)
 		for start := 0; start < n; start += mb {
 			end := start + mb
 			if end > n {
 				end = n
 			}
 			p.Net.ZeroGrad()
-			for _, oi := range order[start:end] {
-				t := &steps[oi]
-				logits, v, cache := p.Net.Forward(t.State)
-				p.scratchFor(logits)
+			if p.cfg.ScalarKernels {
+				for _, oi := range order[start:end] {
+					t := &steps[oi]
+					logits, v, cache := p.Net.Forward(t.State)
+					p.scratchFor(logits)
 
-				// New joint log-prob and per-head distributions.
-				newLP := 0.0
-				probs := p.probs
-				for k, ls := range logits {
-					nn.Softmax(ls, probs[k])
-					newLP += math.Log(math.Max(probs[k][t.Actions[k]], 1e-12))
-				}
-				klSum += t.LogProb - newLP
-				ratio := math.Exp(newLP - t.LogProb)
-				a := adv[oi]
-				unclipped := ratio * a
-				lo, hi := 1-p.cfg.ClipEps, 1+p.cfg.ClipEps
-				cr := math.Min(math.Max(ratio, lo), hi)
-				clippedSurr := cr * a
-
-				// d(policy loss)/d(new log-prob): -A*ratio when the
-				// unclipped surrogate is active, 0 otherwise.
-				var dLP float64
-				if unclipped <= clippedSurr {
-					dLP = -a * ratio
-				} else {
-					clipped++
-				}
-				visited++
-				polLoss += -math.Min(unclipped, clippedSurr)
-
-				dLogits := p.dLogits
-				for k, pr := range probs {
-					dl := dLogits[k]
-					h := nn.Entropy(pr)
-					entSum += h
-					for j := range pr {
-						// Policy gradient through the categorical head.
-						onehot := 0.0
-						if j == t.Actions[k] {
-							onehot = 1
-						}
-						dl[j] = dLP * (onehot - pr[j])
-						// Entropy bonus: loss -= c*H ⇒ grad += c * dH/dl.
-						// dH/dl_j = -p_j (log p_j + H).
-						dl[j] += p.cfg.EntropyCoef * pr[j] * (math.Log(math.Max(pr[j], 1e-12)) + h)
+					// New joint log-prob and per-head distributions.
+					newLP := 0.0
+					probs := p.probs
+					for k, ls := range logits {
+						nn.Softmax(ls, probs[k])
+						newLP += math.Log(math.Max(probs[k][t.Actions[k]], 1e-12))
 					}
+					klSum += t.LogProb - newLP
+					ratio := math.Exp(newLP - t.LogProb)
+					a := adv[oi]
+					unclipped := ratio * a
+					lo, hi := 1-p.cfg.ClipEps, 1+p.cfg.ClipEps
+					cr := math.Min(math.Max(ratio, lo), hi)
+					clippedSurr := cr * a
+
+					// d(policy loss)/d(new log-prob): -A*ratio when the
+					// unclipped surrogate is active, 0 otherwise.
+					var dLP float64
+					if unclipped <= clippedSurr {
+						dLP = -a * ratio
+					} else {
+						clipped++
+					}
+					visited++
+					polLoss += -math.Min(unclipped, clippedSurr)
+
+					dLogits := p.dLogits
+					for k, pr := range probs {
+						dl := dLogits[k]
+						h := nn.Entropy(pr)
+						entSum += h
+						for j := range pr {
+							// Policy gradient through the categorical head.
+							onehot := 0.0
+							if j == t.Actions[k] {
+								onehot = 1
+							}
+							dl[j] = dLP * (onehot - pr[j])
+							// Entropy bonus: loss -= c*H ⇒ grad += c * dH/dl.
+							// dH/dl_j = -p_j (log p_j + H).
+							dl[j] += p.cfg.EntropyCoef * pr[j] * (math.Log(math.Max(pr[j], 1e-12)) + h)
+						}
+					}
+					vErr := v - ret[oi]
+					valLoss += 0.5 * vErr * vErr
+					p.Net.Backward(cache, dLogits, p.cfg.ValueCoef*vErr)
 				}
-				vErr := v - ret[oi]
-				valLoss += 0.5 * vErr * vErr
-				p.Net.Backward(cache, dLogits, p.cfg.ValueCoef*vErr)
+			} else {
+				// Batched path: gather the shuffled minibatch into one
+				// matrix, run the network once, then do the per-sample
+				// scalar math row by row — same order, same operations.
+				b := end - start
+				p.batchScratch(b)
+				in := p.Net.L1.In
+				xs := p.xsB[:b*in]
+				for r, oi := range order[start:end] {
+					copy(xs[r*in:(r+1)*in], steps[oi].State)
+				}
+				logits, vals, cache := p.Net.ForwardBatch(xs, b)
+				for k := range logits {
+					w := p.Net.Heads[k].Out
+					nn.SoftmaxBatch(logits[k], p.probsB[k], b, w)
+				}
+				for r := 0; r < b; r++ {
+					oi := order[start+r]
+					t := &steps[oi]
+					newLP := 0.0
+					for k := range logits {
+						w := p.Net.Heads[k].Out
+						newLP += math.Log(math.Max(p.probsB[k][r*w+t.Actions[k]], 1e-12))
+					}
+					klSum += t.LogProb - newLP
+					ratio := math.Exp(newLP - t.LogProb)
+					a := adv[oi]
+					unclipped := ratio * a
+					lo, hi := 1-p.cfg.ClipEps, 1+p.cfg.ClipEps
+					cr := math.Min(math.Max(ratio, lo), hi)
+					clippedSurr := cr * a
+					var dLP float64
+					if unclipped <= clippedSurr {
+						dLP = -a * ratio
+					} else {
+						clipped++
+					}
+					visited++
+					polLoss += -math.Min(unclipped, clippedSurr)
+					for k := range logits {
+						w := p.Net.Heads[k].Out
+						pr := p.probsB[k][r*w : (r+1)*w]
+						dl := p.dLogitsB[k][r*w : (r+1)*w]
+						h := nn.Entropy(pr)
+						entSum += h
+						for j := range pr {
+							onehot := 0.0
+							if j == t.Actions[k] {
+								onehot = 1
+							}
+							dl[j] = dLP * (onehot - pr[j])
+							dl[j] += p.cfg.EntropyCoef * pr[j] * (math.Log(math.Max(pr[j], 1e-12)) + h)
+						}
+					}
+					vErr := vals[r] - ret[oi]
+					valLoss += 0.5 * vErr * vErr
+					p.dValsB[r] = p.cfg.ValueCoef * vErr
+				}
+				p.Net.BackwardBatch(cache, p.dLogitsB, p.dValsB[:b])
 			}
 			p.opt.Step(p.Net.Layers(), float64(end-start))
 		}

@@ -2,6 +2,7 @@ package rl
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/nn"
@@ -261,5 +262,163 @@ func TestMeanStd(t *testing.T) {
 	}
 	if m, s := meanStd(nil); m != 0 || s != 0 {
 		t.Fatal("empty meanStd must be 0,0")
+	}
+}
+
+// TestTrainBatchedMatchesScalar pins the batched Train inner loop against
+// the scalar one bit for bit: two learners with identical networks, RNG
+// streams, and buffers must produce identical parameters and statistics —
+// including on a buffer size that leaves a ragged final minibatch.
+func TestTrainBatchedMatchesScalar(t *testing.T) {
+	for _, n := range []int{48, 50, 32, 7} {
+		build := func(scalar bool) (*PPO, *Buffer) {
+			rng := sim.NewRNG(41)
+			net := nn.NewActorCritic(6, 16, []int{4, 3}, rng)
+			cfg := DefaultConfig()
+			cfg.LR = 3e-3
+			cfg.ScalarKernels = scalar
+			p := New(net, cfg, rng)
+			var buf Buffer
+			state := make([]float64, 6)
+			for i := 0; i < n; i++ {
+				for j := range state {
+					state[j] = rng.NormFloat64()
+				}
+				s := append([]float64(nil), state...)
+				a, lp, v := p.Act(s)
+				buf.Add(Transition{State: s, Actions: a, LogProb: lp, Value: v,
+					Reward: rng.Float64(), Done: i%17 == 16})
+			}
+			return p, &buf
+		}
+		ps, bs := build(true)
+		pb, bb := build(false)
+		sts := ps.Train(bs, 0.3)
+		stb := pb.Train(bb, 0.3)
+		if sts != stb {
+			t.Fatalf("n=%d: stats diverge:\nscalar  %+v\nbatched %+v", n, sts, stb)
+		}
+		sp, bp := ps.Net.Params(), pb.Net.Params()
+		for i := range sp {
+			if sp[i] != bp[i] {
+				t.Fatalf("n=%d: param %d diverges: %v != %v", n, i, sp[i], bp[i])
+			}
+		}
+		// A second Train round exercises the weight-transpose invalidation
+		// after optimizer steps.
+		_, bs = build(true)
+		_, bb = build(false)
+		bs.steps, bb.steps = bs.steps[:n], bb.steps[:n]
+		if sts, stb := ps.Train(bs, -0.1), pb.Train(bb, -0.1); sts != stb {
+			t.Fatalf("n=%d round 2: stats diverge", n)
+		}
+		sp, bp = ps.Net.Params(), pb.Net.Params()
+		for i := range sp {
+			if sp[i] != bp[i] {
+				t.Fatalf("n=%d round 2: param %d diverges", n, i)
+			}
+		}
+	}
+}
+
+// TestActBatchMatchesScalar pins the ActBatch family against per-state
+// scalar calls: same actions, log-probs, values, and — for the sampling
+// path — the same RNG stream consumption.
+func TestActBatchMatchesScalar(t *testing.T) {
+	const b, dim = 5, 6
+	mk := func() *PPO { return newPPO([]int{4, 3, 2}, dim, 13) }
+	ps, pb := mk(), mk()
+	states := make([]float64, b*dim)
+	rng := sim.NewRNG(99)
+	for round := 0; round < 4; round++ {
+		for i := range states {
+			states[i] = rng.NormFloat64()
+		}
+		// Sampling path: both learners share the seed and have consumed
+		// their RNGs identically so far, so the batched call must draw the
+		// exact same actions as b scalar calls in row order.
+		sa, sl, sv := pb.ActBatch(states, b)
+		for r := 0; r < b; r++ {
+			wantA, wantLP, wantV := ps.Act(states[r*dim : (r+1)*dim])
+			for k := range wantA {
+				if sa[r][k] != wantA[k] {
+					t.Fatalf("sample round %d row %d head %d: action %d != %d", round, r, k, sa[r][k], wantA[k])
+				}
+			}
+			if sl[r] != wantLP || sv[r] != wantV {
+				t.Fatalf("sample round %d row %d: lp/v (%v,%v) != (%v,%v)", round, r, sl[r], sv[r], wantLP, wantV)
+			}
+		}
+		// Greedy-with-eval path.
+		gotA, gotLP, gotV := pb.ActGreedyEvalBatch(states, b)
+		for r := 0; r < b; r++ {
+			wantA, wantLP, wantV := ps.ActGreedyEval(states[r*dim : (r+1)*dim])
+			for k := range wantA {
+				if gotA[r][k] != wantA[k] {
+					t.Fatalf("round %d row %d head %d: action %d != %d", round, r, k, gotA[r][k], wantA[k])
+				}
+			}
+			if gotLP[r] != wantLP || gotV[r] != wantV {
+				t.Fatalf("round %d row %d: lp/v (%v,%v) != (%v,%v)", round, r, gotLP[r], gotV[r], wantLP, wantV)
+			}
+		}
+		// Greedy path.
+		gg := pb.ActGreedyBatch(states, b)
+		for r := 0; r < b; r++ {
+			want := ps.ActGreedy(states[r*dim : (r+1)*dim])
+			for k := range want {
+				if gg[r][k] != want[k] {
+					t.Fatalf("greedy round %d row %d head %d: %d != %d", round, r, k, gg[r][k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestTrainZeroSteadyStateAllocs guards the batched Train path's
+// zero-allocation contract: after the first call sizes the scratch, a
+// Train over a same-sized buffer must not allocate at all. Measured with
+// ReadMemStats rather than testing.AllocsPerRun because refilling the
+// consumed buffer between runs allocates by design.
+func TestTrainZeroSteadyStateAllocs(t *testing.T) {
+	p := newPPO([]int{5, 5, 3}, 60, 1)
+	state := make([]float64, 60)
+	fill := func(buf *Buffer) {
+		for j := 0; j < 32; j++ {
+			a, lp, v := p.Act(state)
+			buf.Add(Transition{State: state, Actions: a, LogProb: lp, Value: v, Reward: 0.5})
+		}
+	}
+	var buf Buffer
+	fill(&buf)
+	p.Train(&buf, 0) // size all scratch
+	for trial := 0; trial < 3; trial++ {
+		fill(&buf)
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		p.Train(&buf, 0)
+		runtime.ReadMemStats(&m1)
+		if n := m1.Mallocs - m0.Mallocs; n != 0 {
+			t.Fatalf("trial %d: steady-state Train made %d allocations (%d bytes)",
+				trial, n, m1.TotalAlloc-m0.TotalAlloc)
+		}
+	}
+}
+
+// TestActBatchSteadyStateAllocs pins the batched inference paths: greedy
+// batch acting reuses all scratch; the sampling/eval variants allocate
+// exactly the per-row action slices that transitions retain.
+func TestActBatchSteadyStateAllocs(t *testing.T) {
+	p := newPPO([]int{5, 5, 3}, 60, 1)
+	const b = 4
+	states := make([]float64, b*60)
+	p.ActGreedyBatch(states, b)
+	if n := testing.AllocsPerRun(50, func() { p.ActGreedyBatch(states, b) }); n != 0 {
+		t.Fatalf("ActGreedyBatch allocates %v per run", n)
+	}
+	// b actions slices (retained by callers) are the only allowed allocs.
+	if n := testing.AllocsPerRun(50, func() { p.ActBatch(states, b) }); n > b+1 {
+		t.Fatalf("ActBatch allocates %v per run, want <= %d", n, b+1)
 	}
 }

@@ -41,35 +41,47 @@ type EventHandler func(arg EventArg, now Time)
 // handler-based core: the closure rides in the pointer slot of the arg.
 func runClosure(arg EventArg, _ Time) { arg.P.(func())() }
 
-// event is a scheduled callback. seq breaks ties between events scheduled
-// for the same instant so execution order is deterministic (FIFO within an
-// instant).
-type event struct {
+// eventKey is the heap-ordering half of a scheduled event: timestamp plus
+// a sequence number that breaks ties between events scheduled for the same
+// instant, so execution order is deterministic (FIFO within an instant).
+type eventKey struct {
 	at  Time
 	seq uint64
-	h   EventHandler
-	arg EventArg
 }
 
 // before is the heap order: earliest timestamp first, FIFO within an
 // instant.
-func (e event) before(o event) bool {
-	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
+func (k eventKey) before(o eventKey) bool {
+	return k.at < o.at || (k.at == o.at && k.seq < o.seq)
+}
+
+// eventPayload is the callback half of a scheduled event, kept in a slice
+// parallel to the key heap so sift comparisons never touch it.
+type eventPayload struct {
+	h   EventHandler
+	arg EventArg
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all model code runs inside event callbacks on one
 // goroutine.
 //
-// The pending-event queue is an inlined 4-ary min-heap over a typed slice:
-// no container/heap interface boxing, so steady-state Schedule/Step reuses
-// the slice's capacity and performs zero allocations. The wider fan-out
-// also halves the sift-down depth versus a binary heap, which is where a
-// pop-heavy discrete-event loop spends its comparisons.
+// The pending-event queue is an inlined 4-ary min-heap over two parallel
+// typed slices: 16-byte ordering keys (timestamp, sequence) and 32-byte
+// payloads (handler, argument). No container/heap interface boxing, so
+// steady-state Schedule/Step reuses the slices' capacity and performs zero
+// allocations. The wider fan-out halves the sift-down depth versus a
+// binary heap, and splitting keys from payloads makes the hot four-child
+// minimum scan read one 64-byte cache line instead of 192 bytes of event
+// structs — which is where a pop-heavy discrete-event loop spends its
+// time. Because (at, seq) is a strict total order, pop order is a pure
+// function of the scheduled set, so heap-layout changes like this one
+// cannot perturb simulation results.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events []event // 4-ary min-heap ordered by event.before
+	now      Time
+	seq      uint64
+	keys     []eventKey // 4-ary min-heap ordered by eventKey.before
+	payloads []eventPayload
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -81,7 +93,7 @@ func NewEngine() *Engine {
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of events waiting to run.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.keys) }
 
 // Schedule runs fn after delay virtual nanoseconds. A negative delay is an
 // error in the model, so it panics. Capturing closures allocate; hot paths
@@ -117,30 +129,31 @@ func (e *Engine) AtEvent(t Time, h EventHandler, arg EventArg) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
 	e.seq++
-	e.events = append(e.events, event{at: t, seq: e.seq, h: h, arg: arg})
-	e.siftUp(len(e.events) - 1)
+	e.keys = append(e.keys, eventKey{at: t, seq: e.seq})
+	e.payloads = append(e.payloads, eventPayload{h: h, arg: arg})
+	e.siftUp(len(e.keys) - 1)
 }
 
 // siftUp restores the heap property after appending at index i.
 func (e *Engine) siftUp(i int) {
-	h := e.events
-	ev := h[i]
+	ks, ps := e.keys, e.payloads
+	k, p := ks[i], ps[i]
 	for i > 0 {
-		p := (i - 1) / 4
-		if !ev.before(h[p]) {
+		parent := (i - 1) / 4
+		if !k.before(ks[parent]) {
 			break
 		}
-		h[i] = h[p]
-		i = p
+		ks[i], ps[i] = ks[parent], ps[parent]
+		i = parent
 	}
-	h[i] = ev
+	ks[i], ps[i] = k, p
 }
 
 // siftDown restores the heap property after replacing the root.
 func (e *Engine) siftDown() {
-	h := e.events
-	n := len(h)
-	ev := h[0]
+	ks, ps := e.keys, e.payloads
+	n := len(ks)
+	k, p := ks[0], ps[0]
 	i := 0
 	for {
 		c := 4*i + 1
@@ -152,36 +165,41 @@ func (e *Engine) siftDown() {
 			end = n
 		}
 		m := c
+		mk := ks[c]
 		for j := c + 1; j < end; j++ {
-			if h[j].before(h[m]) {
+			if ks[j].before(mk) {
 				m = j
+				mk = ks[j]
 			}
 		}
-		if !h[m].before(ev) {
+		if !mk.before(k) {
 			break
 		}
-		h[i] = h[m]
+		ks[i], ps[i] = mk, ps[m]
 		i = m
 	}
-	h[i] = ev
+	ks[i], ps[i] = k, p
 }
 
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if len(e.keys) == 0 {
 		return false
 	}
-	ev := e.events[0]
-	n := len(e.events) - 1
-	e.events[0] = e.events[n]
-	e.events[n] = event{} // release the handler refs; the slot's capacity is reused
-	e.events = e.events[:n]
+	at := e.keys[0].at
+	pl := e.payloads[0]
+	n := len(e.keys) - 1
+	e.keys[0] = e.keys[n]
+	e.payloads[0] = e.payloads[n]
+	e.payloads[n] = eventPayload{} // release the handler refs; the slot's capacity is reused
+	e.keys = e.keys[:n]
+	e.payloads = e.payloads[:n]
 	if n > 1 {
 		e.siftDown()
 	}
-	e.now = ev.at
-	ev.h(ev.arg, e.now)
+	e.now = at
+	pl.h(pl.arg, e.now)
 	return true
 }
 
@@ -189,7 +207,7 @@ func (e *Engine) Step() bool {
 // the next event is strictly after t; the clock then advances to t. Events
 // scheduled exactly at t are executed.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for len(e.keys) > 0 && e.keys[0].at <= t {
 		e.Step()
 	}
 	if t > e.now {

@@ -145,3 +145,37 @@ func TestSplitChildrenIndependent(t *testing.T) {
 		t.Fatal("sibling streams with different labels are identical")
 	}
 }
+
+// TestPermIntoMatchesPerm pins PermInto's contract: for any length it must
+// produce the same permutation and consume the same stream draws as Perm,
+// so switching a hot loop between them can never perturb a seeded run.
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 32, 33, 100} {
+		a := NewRNG(int64(n) + 5)
+		b := NewRNG(int64(n) + 5)
+		want := a.Perm(n)
+		got := b.PermInto(make([]int, n))
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: PermInto length %d, Perm length %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: PermInto %v, Perm %v", n, got, want)
+			}
+		}
+		// Both streams must be in the same state afterwards.
+		if a.Int63() != b.Int63() {
+			t.Fatalf("n=%d: PermInto consumed a different number of draws than Perm", n)
+		}
+	}
+}
+
+// TestPermIntoZeroAlloc guards PermInto's reason to exist: permuting into a
+// caller-owned buffer must not allocate.
+func TestPermIntoZeroAlloc(t *testing.T) {
+	g := NewRNG(9)
+	buf := make([]int, 64)
+	if avg := testing.AllocsPerRun(200, func() { g.PermInto(buf) }); avg != 0 {
+		t.Fatalf("PermInto allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -10,6 +10,16 @@
 #   scripts/bench.sh                 # full pass, appends to BENCH_fleet.json
 #   BENCHTIME=100ms scripts/bench.sh # faster micro pass
 #   OUT=/tmp/b.json scripts/bench.sh # alternate output path
+#   DELTA_PCT=25 scripts/bench.sh    # custom regression threshold
+#   DELTA_PCT=off scripts/bench.sh   # record only, skip the gate
+#
+# After appending, the new run is diffed against the previous one: a delta
+# table (ns/op, allocs/op) prints for every benchmark, and the script exits
+# non-zero when any benchmark regressed past DELTA_PCT percent (default
+# 15). Caveat: ns/op deltas are only meaningful between runs on the same
+# machine at the same BENCHTIME — the trajectory spans machines, and
+# cross-machine entries differ by 15-30% on the figure benchmarks from
+# hardware alone (see docs/PERFORMANCE.md "Reading the trajectory").
 #
 # Inspecting the trajectory (last two runs of one benchmark):
 #   jq '.runs[-2:][] | {at: .timestamp, r: [.results[] | select(.name == "BenchmarkFigure15")]}' BENCH_fleet.json
@@ -82,3 +92,49 @@ else
 fi
 
 echo "bench.sh: appended run $commit ($(grep -c '"name"' "$run") results) to $OUT ($(jq '.runs | length' "$OUT") runs total)"
+
+# Delta gate: compare the appended run against the previous one.
+DELTA_PCT="${DELTA_PCT:-15}"
+nruns=$(jq '.runs | length' "$OUT")
+if [ "$DELTA_PCT" = "off" ]; then
+    echo "bench.sh: delta gate skipped (DELTA_PCT=off)"
+elif [ "$nruns" -lt 2 ]; then
+    echo "bench.sh: delta gate skipped (first recorded run)"
+else
+    echo "== delta vs previous run ($(jq -r '.runs[-2].commit' "$OUT") -> $commit, threshold ${DELTA_PCT}%)"
+    # Rows: name old_ns new_ns old_allocs new_allocs. Missing values are
+    # "-" (benchmark added or removed between runs; never gated).
+    jq -r '
+        (.runs[-2].results | map({(.name): .}) | add) as $old |
+        (.runs[-1].results | map({(.name): .}) | add) as $new |
+        ( ($old + $new) | keys_unsorted | sort )[] as $k |
+        [ $k,
+          ($old[$k].ns_per_op // "-"), ($new[$k].ns_per_op // "-"),
+          ($old[$k].allocs_per_op // (if $old[$k] then 0 else "-" end)),
+          ($new[$k].allocs_per_op // (if $new[$k] then 0 else "-" end)) ] | @tsv
+    ' "$OUT" | awk -F'\t' -v thr="$DELTA_PCT" '
+    BEGIN {
+        printf "%-32s %14s %14s %8s %7s %7s %8s\n", \
+            "benchmark", "old ns/op", "new ns/op", "d%", "old a/op", "new a/op", "verdict"
+        bad = 0
+    }
+    {
+        name = $1; ons = $2; ns = $3; oal = $4; al = $5
+        verdict = "ok"; pct = "-"
+        if (ons == "-")      { verdict = "added" }
+        else if (ns == "-")  { verdict = "removed" }
+        else {
+            if (ons + 0 > 0) pct = sprintf("%+.1f", (ns - ons) / ons * 100)
+            if (ons + 0 > 0 && (ns - ons) / ons * 100 > thr) { verdict = "SLOWER"; bad++ }
+            if (al + 0 > oal + 0 && (oal + 0 == 0 || (al - oal) / oal * 100 > thr)) { verdict = "ALLOCS"; bad++ }
+        }
+        printf "%-32s %14s %14s %8s %7s %7s %8s\n", name, ons, ns, pct, oal, al, verdict
+    }
+    END {
+        if (bad > 0) {
+            printf "bench.sh: %d benchmark(s) regressed past %s%% vs the previous run\n", bad, thr > "/dev/stderr"
+            exit 1
+        }
+    }'
+    echo "bench.sh: delta gate green (threshold ${DELTA_PCT}%)"
+fi

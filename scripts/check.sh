@@ -12,7 +12,10 @@
 # migration), a workload-replay gate (the checked-in CSV trace converts
 # and replays byte-identically at 1/2/4 workers, with live traffic
 # typing), and a one-iteration benchmark smoke pass that fails on any
-# steady-state device allocation.
+# steady-state device allocation. The RL-kernel gates prove the batched
+# matrix kernels (internal/nn, internal/rl, core.Decide) byte-identical to
+# the scalar path via -scalar-rl figure diffs at 1/2/4 workers, and pin
+# batched inference + PPO updates at zero steady-state allocations.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -69,7 +72,7 @@ if grep -n 'interface{}' internal/flash/*.go internal/sim/*.go internal/ftl/*.go
 fi
 
 echo "== go test -race (concurrency-heavy packages)"
-go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/... ./internal/obs/... ./internal/sim/... ./internal/flash/... ./internal/ftl/... ./internal/fault/... ./internal/fleet/... ./internal/trace/... ./internal/workload/...
+go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/... ./internal/obs/... ./internal/sim/... ./internal/flash/... ./internal/ftl/... ./internal/fault/... ./internal/fleet/... ./internal/trace/... ./internal/workload/... ./internal/nn/... ./internal/rl/...
 
 echo "== go test -race -tags=flashdebug (op pool poison mode)"
 # flashdebug poisons every recycled Op on release so a use-after-release
@@ -142,6 +145,44 @@ fi
 if ! grep -q 'types: .*=' "$wl1"; then
     echo "cohort rack classified no live traffic:" >&2
     cat "$wl1" >&2
+    exit 1
+fi
+
+echo "== RL-kernel bit-identity (batched vs -scalar-rl, 1/2/4 workers)"
+# The batched matrix kernels (internal/nn ForwardBatch/BackwardBatch, the
+# vectorized PPO update, the one-ActBatch-per-window Decide) must produce
+# byte-identical figures to the original scalar path: same FP operation
+# order, only restructured loops. A figure run under both kernel modes at
+# every worker count proves kernel-identity and parallel-invariance at
+# once.
+rlb1=$(mktemp) && rlb2=$(mktemp) && rlb4=$(mktemp) && rls1=$(mktemp) && rls2=$(mktemp) && rls4=$(mktemp)
+trap 'rm -f "$faults1" "$faults4" "$fleet1" "$fleet4" "$wlbin" "$wl1" "$wl2" "$wl4" "$rlb1" "$rlb2" "$rlb4" "$rls1" "$rls2" "$rls4"' EXIT
+go run ./cmd/fleetbench -fig 10 -seconds 2 -warmup 1 -parallel 1 > "$rlb1"
+go run ./cmd/fleetbench -fig 10 -seconds 2 -warmup 1 -parallel 2 > "$rlb2"
+go run ./cmd/fleetbench -fig 10 -seconds 2 -warmup 1 -parallel 4 > "$rlb4"
+go run ./cmd/fleetbench -fig 10 -seconds 2 -warmup 1 -parallel 1 -scalar-rl > "$rls1"
+go run ./cmd/fleetbench -fig 10 -seconds 2 -warmup 1 -parallel 2 -scalar-rl > "$rls2"
+go run ./cmd/fleetbench -fig 10 -seconds 2 -warmup 1 -parallel 4 -scalar-rl > "$rls4"
+for f in "$rlb2" "$rlb4" "$rls1" "$rls2" "$rls4"; do
+    if ! cmp -s "$rlb1" "$f"; then
+        echo "figure output differs between batched and scalar RL kernels (or across workers):" >&2
+        diff "$rlb1" "$f" >&2 || true
+        exit 1
+    fi
+done
+
+echo "== batched RL kernel benchmarks (allocs/op == 0)"
+# Batched inference and the vectorized PPO update must stay allocation-free
+# in steady state — they run every decision window for the lifetime of a
+# deployment. One warm iteration sizes the scratch before the measured
+# ones.
+rlbench=$(go test -run=NONE -bench='^(BenchmarkForwardBatch|BenchmarkTrainBatch)$' \
+    -benchmem -benchtime=20x ./internal/nn/ ./internal/rl/ | grep '^Benchmark')
+echo "$rlbench"
+if echo "$rlbench" | awk '{ for (i = 3; i <= NF; i++) if ($i == "allocs/op" && $(i-1) + 0 > 0) exit 1 }'; then
+    :
+else
+    echo "batched RL kernel benchmark allocates; ForwardBatch/Train must be allocation-free in steady state" >&2
     exit 1
 fi
 
