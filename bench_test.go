@@ -1,7 +1,9 @@
 package fleetio
 
 import (
+	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"testing"
 
@@ -149,6 +151,75 @@ func BenchmarkFigureFleet(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "simIOPS/s")
+}
+
+// fleetFingerprint pins every fleet counter and per-device float for byte
+// comparison across worker counts inside BenchmarkFleetScaling.
+func fleetFingerprint(st fleet.Stats) string {
+	var sb strings.Builder
+	st.Render(&sb)
+	for _, d := range st.PerDevice {
+		fmt.Fprintf(&sb, "dev %d tenants=%d util=%.6f bytes=%d completed=%d\n",
+			d.Device, d.Tenants, d.MeanUtil, d.BytesMoved, d.Completed)
+	}
+	return sb.String()
+}
+
+// BenchmarkFleetScaling measures the persistent shard-worker runtime on
+// racks of 64 and 256 devices at 1/2/4/8 workers: aggregate simulated
+// I/O throughput per wall-second, speedup over the sequential run, and
+// per-worker scaling efficiency. The workers=1 sub-benchmark doubles as
+// the byte-identity oracle — every other worker count must reproduce its
+// output exactly (check.sh smokes the workers 1 vs 4 pair). Scaling
+// numbers are only meaningful on multi-core hosts; the structure (static
+// contiguous shard ranges, one barrier epoch per quantum) is what is
+// under test here.
+func BenchmarkFleetScaling(b *testing.B) {
+	for _, devices := range []int{64, 256} {
+		var baseSecs float64
+		var baseOut string
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("devices=%d/workers=%d", devices, workers), func(b *testing.B) {
+				cfg := fleet.Config{
+					Devices:   devices,
+					Seed:      1,
+					Duration:  1 * sim.Second,
+					Placement: fleet.PlaceLeastLoaded,
+					Migration: true,
+					Workers:   workers,
+				}
+				var completed int64
+				var out string
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st := fleet.New(cfg).Run()
+					completed += st.Completed
+					if !st.Balanced() {
+						b.Fatalf("fleet ledger imbalance: %+v", st)
+					}
+					if i == 0 {
+						b.StopTimer()
+						out = fleetFingerprint(st)
+						b.StartTimer()
+					}
+				}
+				secs := b.Elapsed().Seconds() / float64(b.N)
+				b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "simIOPS/s")
+				if workers == 1 {
+					baseSecs, baseOut = secs, out
+					return
+				}
+				if baseOut != "" && out != baseOut {
+					b.Fatalf("workers=%d output diverged from workers=1:\n%s\nvs:\n%s", workers, out, baseOut)
+				}
+				if baseSecs > 0 && secs > 0 {
+					speedup := baseSecs / secs
+					b.ReportMetric(speedup, "speedup-vs-w1")
+					b.ReportMetric(speedup/float64(workers), "scale-eff")
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkFigureWorkloads runs the temporal-realism ladder — steady,

@@ -5,14 +5,16 @@
 //
 //	fleetbench [-fig all|2|3|6|10|14|15|16|17|faults|fleet|workloads|overhead]
 //	           [-seconds N] [-model file] [-parallel N] [-faults spec] [-fleet N]
-//	           [-workload shape] [-trace file]
+//	           [-fleet-workers N] [-pin] [-workload shape] [-trace file]
 //
 // Figures 10–13 share one set of runs and are printed together.
 //
 // -parallel bounds the worker pool: independent experiment runs in flight
 // at once, or, for -fig fleet, device shards advanced concurrently per
 // epoch (0 = one per CPU, 1 = sequential; results are byte-identical at
-// any worker count).
+// any worker count). -fleet-workers sizes the fleet's persistent
+// shard-worker pool separately from -parallel, and -pin locks each shard
+// worker to an OS thread — scheduling knobs only, never output changes.
 //
 // -faults injects deterministic NAND failures into the measured runs:
 // "light", "heavy", or a k=v spec (see internal/fault.ParseSpec).
@@ -57,6 +59,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size: experiment runs, or fleet shards per epoch (0 = one per CPU, 1 = sequential)")
 	faults := flag.String("faults", "", "NAND fault injection: off, light, heavy, or k=v list (pfail=,efail=,rretry=,tmo=,maxretries=,rstep=,stall=,seed=)")
 	fleetN := flag.Int("fleet", 0, "device count for -fig fleet (0 = 64)")
+	fleetWorkers := flag.Int("fleet-workers", 0, "persistent shard-worker pool size for -fig fleet, overriding -parallel (0 = use -parallel, 1 = sequential; output is byte-identical)")
+	pin := flag.Bool("pin", false, "lock each fleet shard worker to an OS thread (scheduling hint; output is unchanged)")
 	workloadFlag := flag.String("workload", "steady", "temporal arrival shape: steady, diurnal, bursty, or replay")
 	traceFile := flag.String("trace", "", "block trace (binary or CSV) used as the replay source")
 	scalarRL := flag.Bool("scalar-rl", false, "use the scalar (per-agent, per-sample) RL kernels instead of the batched ones; output is bit-identical either way (CI diffs the two)")
@@ -91,6 +95,8 @@ func main() {
 		log.Printf("injecting NAND faults: %s", *faults)
 	}
 	opt.FleetDevices = *fleetN
+	opt.FleetWorkers = *fleetWorkers
+	opt.PinFleetWorkers = *pin
 	opt.WorkloadShape = shape
 	opt.ScalarRL = *scalarRL
 	if *traceFile != "" {

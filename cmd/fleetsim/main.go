@@ -23,6 +23,9 @@
 // -parallel bounds the worker pool: independent harness runs in flight at
 // once, or, with -fleet, device shards advanced concurrently per epoch
 // (0 = one per CPU, 1 = sequential; output is byte-identical either way).
+// -fleet-workers sizes the fleet's persistent shard-worker pool separately
+// from -parallel, and -pin locks each shard worker to an OS thread — both
+// are scheduling knobs only and never change the simulated output.
 //
 // -faults injects deterministic NAND failures into the measured run:
 // "light", "heavy", or a k=v spec (see internal/fault.ParseSpec).
@@ -67,6 +70,8 @@ func main() {
 	faults := flag.String("faults", "", "NAND fault injection: off, light, heavy, or k=v list (pfail=,efail=,rretry=,tmo=,maxretries=,rstep=,stall=,seed=)")
 	fleetN := flag.Int("fleet", 0, "run a rack-scale fleet of N devices instead of a single-device experiment")
 	placement := flag.String("placement", "least-loaded", "fleet placement baseline: least-loaded, round-robin, or hash (with -fleet)")
+	fleetWorkers := flag.Int("fleet-workers", 0, "persistent shard-worker pool size for -fleet runs, overriding -parallel (0 = use -parallel, 1 = sequential; output is byte-identical)")
+	pin := flag.Bool("pin", false, "lock each fleet shard worker to an OS thread (scheduling hint; output is unchanged)")
 	scalarRL := flag.Bool("scalar-rl", false, "use the scalar (per-agent, per-sample) RL kernels instead of the batched ones; output is bit-identical either way")
 	flag.Parse()
 
@@ -89,6 +94,8 @@ func main() {
 		opt.Duration = sim.Time(*seconds * 1e9)
 		opt.Workers = *parallel
 		opt.FleetDevices = *fleetN
+		opt.FleetWorkers = *fleetWorkers
+		opt.PinFleetWorkers = *pin
 		opt.ScalarRL = *scalarRL
 		var srv *obs.Server
 		if *httpAddr != "" {

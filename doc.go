@@ -17,6 +17,10 @@
 //     scalar path, and the FleetIO multi-agent policy: Table 1 states,
 //     Table 2 actions, the Eq. 1/Eq. 2 rewards, and §3.4 workload-type
 //     reward fine-tuning via k-means clustering;
+//   - a rack-scale fleet layer (internal/fleet): device shards under one
+//     virtual clock advanced by a persistent worker pool between epoch
+//     barriers, with placement baselines, slot-based fleet admission,
+//     and cold vSSD migration — byte-identical at any worker count;
 //   - synthetic generators for the paper's nine cloud workloads — with
 //     temporal overlays (diurnal harmonics, MMPP bursts) and deterministic
 //     replay of recorded block traces (binary or MSR-/Alibaba-style CSV;

@@ -56,7 +56,7 @@ func TestCohortSlotsRecycle(t *testing.T) {
 
 func TestCohortDeterministicAcrossWorkers(t *testing.T) {
 	var want string
-	for _, workers := range []int{1, 2, 4} {
+	for _, workers := range []int{1, 2, 4, 8} {
 		cfg := cohortConfig()
 		cfg.Workers = workers
 		got := render(New(cfg).Run())

@@ -32,6 +32,8 @@ package fleet
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -100,9 +102,17 @@ type Config struct {
 
 	// PrefillFrac warms each placed tenant's logical space (0 → 0.35).
 	PrefillFrac float64
-	// Workers bounds the shard fan-out per epoch (0 → GOMAXPROCS,
-	// 1 → sequential). Results are byte-identical at any setting.
+	// Workers sizes the persistent shard-worker pool (0 → GOMAXPROCS,
+	// 1 → inline sequential, capped at Devices). The pool is created once
+	// at Run start; each worker owns a static contiguous slice of shards
+	// for the whole run. Results are byte-identical at any setting.
 	Workers int
+	// Pin locks each persistent shard worker to its OS thread
+	// (runtime.LockOSThread) for the whole run, so the Go scheduler never
+	// migrates a worker — and with it, its shards' cache-hot engine state
+	// — between threads. No effect when the pool is not used (Workers 1,
+	// or a single device).
+	Pin bool
 	// Obs, when non-nil, receives the fleetio_fleet_* metric roll-up,
 	// refreshed at every epoch boundary.
 	Obs *obs.Registry
@@ -275,14 +285,17 @@ type Fleet struct {
 	now    sim.Time
 	epochs int
 
+	// pool is the persistent shard-worker runtime, alive between start
+	// and stopWorkers; nil when shards advance inline (Workers == 1 or a
+	// single device).
+	pool *shardWorkers
+
 	// counters feeding Stats
 	placed, rejected    int
 	departed            int
 	migStarted, migDone int
 	migDowntime         sim.Time
-	lastFleetBytes      int64
 	metrics             *fleetMetrics
-	utilScratch         []float64
 }
 
 // New builds the fleet: every shard's engine, platform, and runner, the
@@ -312,7 +325,6 @@ func New(cfg Config) *Fleet {
 			rng:      base.Stream(int64(1<<20 + i)),
 		}
 	}
-	f.utilScratch = make([]float64, cfg.Devices)
 	if cfg.Obs != nil {
 		f.metrics = newFleetMetrics(cfg.Obs)
 	}
@@ -332,42 +344,79 @@ func (f *Fleet) Tenants() []*Tenant { return f.tenants }
 func (f *Fleet) Now() sim.Time { return f.now }
 
 // Run advances the whole fleet to cfg.Duration in quantum-sized epochs
-// and returns the final roll-up. Each epoch the shards run concurrently
-// to the barrier (Config.Workers bounds the fan-out), then the control
-// plane executes sequentially; the result is byte-identical at any
-// worker count.
+// and returns the final roll-up. Each epoch the persistent shard workers
+// run their static shard ranges to the barrier (Config.Workers sizes the
+// pool, created once here), then the control plane executes sequentially;
+// the result is byte-identical at any worker count. The pool is torn down
+// before Run returns — no goroutine outlives it.
 func (f *Fleet) Run() Stats {
+	f.start()
+	for f.now < f.cfg.Duration {
+		f.step()
+	}
+	st := f.Collect()
+	f.stopWorkers()
+	return st
+}
+
+// start begins every shard's decision runner and brings up the persistent
+// worker pool when more than one worker is useful.
+func (f *Fleet) start() {
 	for _, sh := range f.shards {
 		sh.runner.Start()
 	}
-	for f.now < f.cfg.Duration {
-		t := f.now + f.cfg.Quantum
-		if t > f.cfg.Duration {
-			t = f.cfg.Duration
-		}
-		f.advanceTo(t)
-		f.controlPlane(t)
+	n := f.cfg.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
-	return f.Collect()
+	if n > len(f.shards) {
+		n = len(f.shards)
+	}
+	if n > 1 && f.pool == nil {
+		f.pool = newShardWorkers(f, n, f.cfg.Pin)
+	}
 }
 
-// advanceTo runs every shard's engine to the epoch boundary t, fanning
-// shards out over the worker pool. Shards share no mutable state, so the
-// fan-out cannot change any shard's event order.
+// step runs one epoch: shards advance to the next quantum boundary in the
+// parallel phase, then the sequential control plane acts at the barrier.
+func (f *Fleet) step() {
+	t := f.now + f.cfg.Quantum
+	if t > f.cfg.Duration {
+		t = f.cfg.Duration
+	}
+	f.advanceTo(t)
+	f.controlPlane(t)
+}
+
+// stopWorkers joins and releases the persistent pool (no-op when inline).
+func (f *Fleet) stopWorkers() {
+	if f.pool != nil {
+		f.pool.stop()
+		f.pool = nil
+	}
+}
+
+// advanceTo runs every shard's engine to the epoch boundary t and
+// refreshes each shard's load signals, through the worker pool when one
+// is up and inline otherwise. Every field the parallel phase touches is
+// owned by exactly one shard, so the static partition cannot change any
+// shard's event order or any float's operation order.
 func (f *Fleet) advanceTo(t sim.Time) {
-	forEach(len(f.shards), f.cfg.Workers, func(i int) {
-		f.shards[i].eng.RunUntil(t)
-	})
+	if f.pool != nil {
+		f.pool.runEpoch(t)
+	} else {
+		f.epochShards(0, len(f.shards), t)
+	}
 	f.now = t
 	f.epochs++
 }
 
 // controlPlane is the sequential cross-device step at an epoch boundary:
-// refresh per-device load, advance migrations, place queued tenants, take
-// new arrivals, start new migrations, and publish metrics — in that fixed
-// order, so the run is deterministic.
+// advance migrations, place queued tenants, take new arrivals, start new
+// migrations, and publish metrics — in that fixed order, so the run is
+// deterministic. (The per-device load refresh happens in the parallel
+// phase, before the barrier: see epochShards.)
 func (f *Fleet) controlPlane(now sim.Time) {
-	f.refreshLoad()
 	f.stepMigrations(now)
 	if f.cfg.Lifetime > 0 {
 		f.stepDepartures(now)
@@ -404,18 +453,21 @@ func (f *Fleet) controlPlane(now sim.Time) {
 	}
 }
 
-// refreshLoad computes each device's utilization over the last epoch and
-// each running tenant's byte delta (the migration victim signal).
-func (f *Fleet) refreshLoad() {
-	var fleetBytes int64
-	for i, sh := range f.shards {
+// epochShards is the parallel phase of one epoch for shards [lo, hi):
+// advance each shard's engine to the boundary t, then refresh its load
+// signals — device utilization over the epoch and each resident tenant's
+// byte delta (the migration victim signal). Every field it writes is
+// owned by the shard, so the static worker partition makes it race-free
+// and the per-shard float sequences identical at any worker count.
+func (f *Fleet) epochShards(lo, hi int, t sim.Time) {
+	for i := lo; i < hi; i++ {
+		sh := f.shards[i]
+		sh.eng.RunUntil(t)
 		total := sh.plat.TotalBytes()
-		peak := sh.peakBandwidth()
-		f.utilScratch[i] = float64(total-sh.lastBytes) / (peak * float64(f.cfg.Quantum) / 1e9)
-		sh.epochUtil = f.utilScratch[i]
+		denom := sh.peakBandwidth() * float64(f.cfg.Quantum) / 1e9
+		sh.epochUtil = utilOver(total-sh.lastBytes, denom)
 		sh.utilSum += sh.epochUtil
 		sh.lastBytes = total
-		fleetBytes += total
 		for _, tn := range sh.resident {
 			if tn.vssd != nil {
 				cur := tn.vssd.TotalBytesMoved()
@@ -424,7 +476,18 @@ func (f *Fleet) refreshLoad() {
 			}
 		}
 	}
-	f.lastFleetBytes = fleetBytes
+}
+
+// utilOver guards the utilization ratio against a degenerate denominator:
+// a zero (or NaN/Inf-poisoned) peak-bandwidth × time product would make
+// the ratio ±Inf or NaN and poison every downstream consumer — the
+// migration hot/cool ordering, the min/max spread, the bandwidth gauge —
+// so such a device reads as idle instead.
+func utilOver(deltaBytes int64, denom float64) float64 {
+	if !(denom > 0) || math.IsInf(denom, 1) {
+		return 0
+	}
+	return float64(deltaBytes) / denom
 }
 
 // tryPlace asks the placement policy for a device with a free slot.
@@ -540,28 +603,24 @@ func (f *Fleet) Collect() Stats {
 		s.TypeCounts = f.classifyTenants()
 	}
 	s.PerDevice = make([]DeviceStats, len(f.shards))
+	if f.pool != nil {
+		f.pool.runCollect(s.PerDevice)
+	} else {
+		f.collectShards(0, len(f.shards), s.PerDevice)
+	}
+	// The cross-device merge stays sequential in shard-id order (and the
+	// sums are integers), so the roll-up is byte-identical at any worker
+	// count.
 	var hostBytes int64
-	for i, sh := range f.shards {
-		ds := DeviceStats{
-			Device:  i,
-			Tenants: sh.slotsUsed,
-		}
-		for _, v := range sh.plat.VSSDs() {
-			ds.BytesMoved += v.TotalBytesMoved()
-			ds.Completed += v.Completed()
-		}
-		if f.epochs > 0 {
-			ds.MeanUtil = sh.utilSum / float64(f.epochs)
-		}
-		hostBytes += ds.BytesMoved
-		s.Completed += ds.Completed
-		s.PerDevice[i] = ds
+	for i := range s.PerDevice {
+		hostBytes += s.PerDevice[i].BytesMoved
+		s.Completed += s.PerDevice[i].Completed
 	}
 	if f.now > 0 {
 		secs := float64(f.now) / 1e9
 		s.AggBandwidthMBps = float64(hostBytes) / secs / 1e6
 		peak := f.shards[0].peakBandwidth() * float64(len(f.shards))
-		s.AvgUtil = float64(hostBytes) / (peak * secs)
+		s.AvgUtil = utilOver(hostBytes, peak*secs)
 	}
 	s.MinUtil, s.MaxUtil = 1e18, -1e18
 	for _, ds := range s.PerDevice {
@@ -576,6 +635,28 @@ func (f *Fleet) Collect() Stats {
 		s.MinUtil, s.MaxUtil = 0, 0
 	}
 	return s
+}
+
+// collectShards fills the per-device roll-up for shards [lo, hi): the
+// embarrassingly parallel half of Collect, fanned over the worker pool.
+// Each entry is written by exactly one worker; the cross-device merge in
+// Collect stays sequential in shard-id order.
+func (f *Fleet) collectShards(lo, hi int, per []DeviceStats) {
+	for i := lo; i < hi; i++ {
+		sh := f.shards[i]
+		ds := DeviceStats{
+			Device:  i,
+			Tenants: sh.slotsUsed,
+		}
+		for _, v := range sh.plat.VSSDs() {
+			ds.BytesMoved += v.TotalBytesMoved()
+			ds.Completed += v.Completed()
+		}
+		if f.epochs > 0 {
+			ds.MeanUtil = sh.utilSum / float64(f.epochs)
+		}
+		per[i] = ds
+	}
 }
 
 // classifyTenants runs every traced tenant's recent window through the
@@ -615,9 +696,16 @@ type Shard struct {
 	slotsUsed int
 	resident  []*Tenant
 
+	// Epoch-hot fields, written by the shard's owning worker every epoch
+	// (epochShards). The pads keep the group on its own cache line, away
+	// from the control-plane-written fields above: shards are separately
+	// heap-allocated, so this is what prevents a worker's per-epoch
+	// stores from contending with anything else in the struct.
+	_         [cacheLine]byte
 	lastBytes int64
 	epochUtil float64
 	utilSum   float64
+	_         [cacheLine - 24]byte
 }
 
 // newShard builds one device shard on its own engine.

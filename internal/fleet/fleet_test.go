@@ -35,7 +35,7 @@ func render(s Stats) string {
 
 func TestFleetDeterministicAcrossWorkers(t *testing.T) {
 	var want string
-	for _, workers := range []int{1, 2, 4} {
+	for _, workers := range []int{1, 2, 4, 8} {
 		cfg := testConfig()
 		cfg.Workers = workers
 		got := render(New(cfg).Run())

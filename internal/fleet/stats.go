@@ -3,10 +3,8 @@ package fleet
 import (
 	"fmt"
 	"io"
-	"runtime"
+	"math"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -124,6 +122,11 @@ type fleetMetrics struct {
 	bandwidth                  *obs.Metric
 	utilMean, utilMin, utilMax *obs.Metric
 	simTime, epochs            *obs.Metric
+	// Barrier health of the persistent shard-worker runtime: cumulative
+	// wall time the control plane spent waiting at the epoch barrier, and
+	// the last epoch's straggler gap (last minus first worker arrival).
+	// Both stay 0 when shards advance inline (Workers == 1).
+	barrierWait, straggler *obs.Metric
 }
 
 func newFleetMetrics(reg *obs.Registry) *fleetMetrics {
@@ -143,6 +146,8 @@ func newFleetMetrics(reg *obs.Registry) *fleetMetrics {
 		utilMax:     reg.Gauge("fleetio_fleet_util_max", "Hottest device's utilization over the last epoch."),
 		simTime:     reg.Gauge("fleetio_fleet_sim_time_seconds", "Fleet-wide virtual clock."),
 		epochs:      reg.Counter("fleetio_fleet_epochs_total", "Synchronization epochs completed."),
+		barrierWait: reg.Counter("fleetio_fleet_barrier_wait_ns", "Cumulative wall time the control plane waited at the epoch barrier."),
+		straggler:   reg.Gauge("fleetio_fleet_barrier_straggler_ns", "Last epoch's gap between the first and last shard worker arriving at the barrier."),
 	}
 }
 
@@ -170,7 +175,8 @@ func (f *Fleet) publishMetrics(now sim.Time) {
 	m.migDowntime.Set(float64(f.migDowntime) / 1e9)
 	var sum, min, max float64
 	min, max = 1e18, -1e18
-	for _, u := range f.utilScratch {
+	for _, sh := range f.shards {
+		u := sh.epochUtil
 		sum += u
 		if u < min {
 			min = u
@@ -179,48 +185,18 @@ func (f *Fleet) publishMetrics(now sim.Time) {
 			max = u
 		}
 	}
-	n := float64(len(f.utilScratch))
+	n := float64(len(f.shards))
 	m.utilMean.Set(sum / n)
 	m.utilMin.Set(min)
 	m.utilMax.Set(max)
 	// Per-device utilizations times one device's peak bandwidth sum to
 	// the fleet's throughput over the epoch (all devices share a geometry).
-	m.bandwidth.Set(sum * f.shards[0].peakBandwidth())
+	// A degenerate peak (0 × Inf = NaN) publishes as 0 instead.
+	bw := sum * f.shards[0].peakBandwidth()
+	if math.IsNaN(bw) || math.IsInf(bw, 0) {
+		bw = 0
+	}
+	m.bandwidth.Set(bw)
 	m.simTime.Set(float64(now) / 1e9)
 	m.epochs.Set(float64(f.epochs))
-}
-
-// forEach runs fn(i) for every i in [0,n) on at most workers goroutines
-// (0 → GOMAXPROCS, 1 → inline). It is the shard fan-out of the epoch
-// barrier; each fn touches only its own shard, so scheduling order cannot
-// change results.
-func forEach(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
 }

@@ -1,0 +1,295 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// cacheLine is the padding unit for the barrier's hot words and per-worker
+// slots. 64 bytes is the line size of every amd64/arm64 part we run on;
+// slots pad to two lines because adjacent-line prefetchers pull pairs.
+const cacheLine = 64
+
+// Worker tasks. The control plane writes task before a release; the
+// release's atomic store publishes it to every worker.
+const (
+	// taskAdvance: run owned shards to target and refresh their load.
+	taskAdvance = iota
+	// taskCollect: fill the per-device Stats roll-up for owned shards.
+	taskCollect
+	// taskStop: exit the worker loop (pool shutdown).
+	taskStop
+)
+
+// spinBudget is how many release/gather checks a waiter burns before
+// parking on the condvar. It applies only when the host has more CPUs than
+// workers — when spinning cannot steal cycles from the workers being
+// waited on. Oversubscribed hosts (including GOMAXPROCS <= workers) park
+// immediately: there, a spinning waiter occupies the very core a straggler
+// needs.
+const spinBudget = 4096
+
+// workerSlot is one worker's per-epoch state: its static shard range and
+// its barrier-arrival stamp. Padded to a cache-line pair so one worker's
+// epoch writes never invalidate a line another worker is reading.
+type workerSlot struct {
+	lo, hi   int   // static shard range [lo, hi), fixed for the whole run
+	arriveNS int64 // barrier-arrival stamp (metrics runs only)
+	_        [2*cacheLine - 24]byte
+}
+
+// shardWorkers is the persistent shard-worker runtime behind Fleet.Run:
+// one long-lived goroutine per worker, created once at run start, each
+// owning a static contiguous slice of shards for the whole run (cache
+// locality — a shard's engine state never migrates between workers), all
+// synchronized with the control plane by a low-overhead epoch barrier.
+//
+// The barrier is sense-reversing with a monotonic sequence number as the
+// sense word: workers wait for seq to pass the value they last saw, so
+// the same word flips meaning every epoch and needs no reset phase. The
+// release direction (control plane -> workers) is the seq bump; the
+// gather direction (workers -> control plane) is a padded countdown.
+// Both directions spin with bounded backoff and fall back to a condvar
+// park for oversubscribed hosts, where spinning would steal the cycles
+// the stragglers need.
+type shardWorkers struct {
+	f   *Fleet
+	n   int
+	pin bool
+
+	// seq is the release word and the barrier's sense: bumped once per
+	// epoch, it both publishes the epoch inputs below (the atomic store
+	// is the happens-before edge) and releases every waiting worker.
+	seq atomic.Uint64
+	_   [cacheLine - 8]byte
+	// pending is the gather word: workers not yet arrived this epoch.
+	pending atomic.Int64
+	_       [cacheLine - 8]byte
+
+	// Epoch inputs, written by the control plane strictly before the seq
+	// bump and read by workers strictly after observing it.
+	task    int
+	target  sim.Time
+	collect []DeviceStats
+	stamp   bool // stamp arrival times this epoch (metrics enabled)
+
+	spin int       // release/gather spin budget (0 on oversubscribed hosts)
+	base time.Time // arrival-stamp epoch reference
+
+	// Parking fallback. A waiter that exhausts its spin budget parks on
+	// the condvar; the signalling side takes the lock only to check for
+	// sleepers, so the uncontended (pure-spin) epoch never syscalls.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sleepers int
+
+	cmu       sync.Mutex
+	ccond     *sync.Cond
+	ctlParked bool
+
+	wg    sync.WaitGroup
+	slots []workerSlot
+}
+
+// partitionShards splits d shards over n workers into contiguous,
+// deterministic, near-equal ranges: worker w owns [w*q+min(w,r), ...+q+1)
+// where q, r = d/n, d%n. Static for the whole run — no work stealing —
+// so each shard's cache-hot engine state stays with one worker.
+func partitionShards(d, n int) [][2]int {
+	parts := make([][2]int, n)
+	q, r := d/n, d%n
+	lo := 0
+	for w := range parts {
+		hi := lo + q
+		if w < r {
+			hi++
+		}
+		parts[w] = [2]int{lo, hi}
+		lo = hi
+	}
+	return parts
+}
+
+// newShardWorkers starts the pool: n goroutines, each bound to its static
+// shard range, parked at the barrier until the first release.
+func newShardWorkers(f *Fleet, n int, pin bool) *shardWorkers {
+	p := &shardWorkers{f: f, n: n, pin: pin, base: time.Now()}
+	p.cond = sync.NewCond(&p.mu)
+	p.ccond = sync.NewCond(&p.cmu)
+	if runtime.GOMAXPROCS(0) > n {
+		p.spin = spinBudget
+	}
+	p.slots = make([]workerSlot, n)
+	for w, pt := range partitionShards(len(f.shards), n) {
+		p.slots[w].lo, p.slots[w].hi = pt[0], pt[1]
+	}
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// worker is one pool goroutine. With pin set it locks itself to its OS
+// thread for the whole run, so the Go scheduler cannot migrate it and the
+// OS scheduler sees one long-running thread per worker to keep core-affine.
+// The pprof label makes per-worker time visible on the /debug/pprof
+// endpoints (profile and goroutine dumps group by shard-worker-N).
+func (p *shardWorkers) worker(w int) {
+	defer p.wg.Done()
+	if p.pin {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	labels := pprof.Labels("shard-worker", fmt.Sprintf("shard-worker-%d", w))
+	pprof.Do(context.Background(), labels, func(context.Context) {
+		p.loop(w)
+	})
+}
+
+// loop waits at the barrier, runs the released task over the worker's
+// static shard range, and arrives. Everything a task touches is owned by
+// the worker's shards (or a disjoint slice index), so task bodies run
+// lock-free.
+func (p *shardWorkers) loop(w int) {
+	s := &p.slots[w]
+	for seen := uint64(1); ; seen++ {
+		p.awaitSeq(seen)
+		switch p.task {
+		case taskAdvance:
+			p.f.epochShards(s.lo, s.hi, p.target)
+		case taskCollect:
+			p.f.collectShards(s.lo, s.hi, p.collect)
+		case taskStop:
+			return
+		}
+		if p.stamp {
+			s.arriveNS = int64(time.Since(p.base))
+		}
+		p.arrive()
+	}
+}
+
+// awaitSeq blocks until the release word reaches want: bounded spin with
+// periodic yields, then a condvar park re-checked under the lock (no lost
+// wakeup: release broadcasts only after taking the same lock).
+func (p *shardWorkers) awaitSeq(want uint64) {
+	for i := 0; i < p.spin; i++ {
+		if p.seq.Load() >= want {
+			return
+		}
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+	if p.seq.Load() >= want {
+		return
+	}
+	p.mu.Lock()
+	for p.seq.Load() < want {
+		p.sleepers++
+		p.cond.Wait()
+		p.sleepers--
+	}
+	p.mu.Unlock()
+}
+
+// arrive signals the gather side. The last worker to arrive wakes the
+// control plane iff it parked; a stale signal from a straggling previous
+// epoch is harmless because the control plane re-checks pending.
+func (p *shardWorkers) arrive() {
+	if p.pending.Add(-1) == 0 {
+		p.cmu.Lock()
+		if p.ctlParked {
+			p.ccond.Signal()
+		}
+		p.cmu.Unlock()
+	}
+}
+
+// release publishes the epoch inputs and opens the barrier. The pending
+// reset and the plain-field writes are ordered before the seq bump, whose
+// atomic store is the happens-before edge workers synchronize on.
+func (p *shardWorkers) release(task int, target sim.Time) {
+	p.task = task
+	p.target = target
+	p.stamp = task == taskAdvance && p.f.metrics != nil
+	p.pending.Store(int64(p.n))
+	p.seq.Add(1)
+	p.mu.Lock()
+	if p.sleepers > 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// await blocks the control plane until every worker arrived: same bounded
+// spin + park discipline as awaitSeq, mirrored.
+func (p *shardWorkers) await() {
+	for i := 0; i < p.spin; i++ {
+		if p.pending.Load() == 0 {
+			return
+		}
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+	p.cmu.Lock()
+	p.ctlParked = true
+	for p.pending.Load() != 0 {
+		p.ccond.Wait()
+	}
+	p.ctlParked = false
+	p.cmu.Unlock()
+}
+
+// runEpoch advances every shard to target through the pool and records
+// barrier health when metrics are on: total control-plane wait time and
+// the straggler gap (last minus first worker arrival), the two numbers
+// that show epoch imbalance on /metrics.
+func (p *shardWorkers) runEpoch(target sim.Time) {
+	p.release(taskAdvance, target)
+	m := p.f.metrics
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	p.await()
+	if m != nil {
+		m.barrierWait.Add(float64(time.Since(t0)))
+		first, last := p.slots[0].arriveNS, p.slots[0].arriveNS
+		for i := 1; i < p.n; i++ {
+			ns := p.slots[i].arriveNS
+			if ns < first {
+				first = ns
+			}
+			if ns > last {
+				last = ns
+			}
+		}
+		m.straggler.Set(float64(last - first))
+	}
+}
+
+// runCollect fans the per-device Stats fill out over the pool. dst is
+// indexed by shard id, so workers write disjoint entries.
+func (p *shardWorkers) runCollect(dst []DeviceStats) {
+	p.collect = dst
+	p.release(taskCollect, 0)
+	p.await()
+	p.collect = nil
+}
+
+// stop releases a final taskStop epoch and joins every worker. After stop
+// returns no pool goroutine survives.
+func (p *shardWorkers) stop() {
+	p.release(taskStop, 0)
+	p.wg.Wait()
+}

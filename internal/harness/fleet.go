@@ -23,6 +23,10 @@ func fleetConfig(placement fleet.PlacementKind, opt Options) fleet.Config {
 		Placement: placement,
 		Migration: true,
 		Workers:   opt.Workers,
+		Pin:       opt.PinFleetWorkers,
+	}
+	if opt.FleetWorkers > 0 {
+		cfg.Workers = opt.FleetWorkers
 	}
 	if cfg.Devices <= 0 {
 		cfg.Devices = DefaultFleetDevices

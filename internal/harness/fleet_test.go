@@ -21,9 +21,10 @@ func fleetTestOptions() Options {
 // whether shards advance sequentially or fan out over the worker pool.
 func TestFigureFleetDeterministicAcrossWorkers(t *testing.T) {
 	var want string
-	for _, workers := range []int{1, 2, 4} {
+	for _, workers := range []int{1, 2, 4, 8} {
 		opt := fleetTestOptions()
 		opt.Workers = workers
+		opt.PinFleetWorkers = workers == 4 // pinning must not change output either
 		var b strings.Builder
 		FigureFleet(&b, opt)
 		if workers == 1 {
@@ -37,6 +38,31 @@ func TestFigureFleetDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if !strings.Contains(want, "placement=least-loaded") {
 		t.Fatalf("FigureFleet missing placement sections:\n%s", want)
+	}
+}
+
+// TestCohortScenarioDeterministicAcrossWorkers covers the departure path
+// (Lifetime > 0) under the shard-worker pool, driving the pool size
+// through the FleetWorkers override rather than run-level Workers.
+func TestCohortScenarioDeterministicAcrossWorkers(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 4, 8} {
+		opt := fleetTestOptions()
+		opt.FleetWorkers = workers
+		st := CohortScenario(opt)
+		var b strings.Builder
+		st.Render(&b)
+		if workers == 1 {
+			if st.Departed == 0 {
+				t.Fatalf("cohort scenario saw no departures: %+v", st)
+			}
+			want = b.String()
+			continue
+		}
+		if b.String() != want {
+			t.Fatalf("CohortScenario diverged at fleet-workers=%d:\n%s\nvs 1:\n%s",
+				workers, b.String(), want)
+		}
 	}
 }
 

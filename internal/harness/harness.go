@@ -110,6 +110,16 @@ type Options struct {
 	// FleetDevices sizes the rack for FleetScenario/FigureFleet
 	// (0 → DefaultFleetDevices). Single-device experiments ignore it.
 	FleetDevices int
+	// FleetWorkers sizes a fleet run's persistent shard-worker pool
+	// independently of Workers (0 → Workers; then 0 → GOMAXPROCS,
+	// 1 → inline sequential). Lets the shard fan-out differ from the
+	// run-level fan-out when both are in play. Byte-identical at any
+	// setting.
+	FleetWorkers int
+	// PinFleetWorkers locks each persistent shard worker to its OS
+	// thread (runtime.LockOSThread) for the whole fleet run — a
+	// scheduling hint for core affinity, never a semantic change.
+	PinFleetWorkers bool
 	// WorkloadShape overlays a temporal arrival shape (diurnal, bursty,
 	// replay) on every tenant of the measured run. Calibration always
 	// runs steady so the SLOs keep their §3.3.1 nominal-shape definition.

@@ -26,9 +26,11 @@
 #
 # Two passes keep the wall time sane: the microbenchmarks (simulator core,
 # NN kernels, §4.7 overheads) iterate for $BENCHTIME, while the figure
-# regeneration benchmarks at the repo root — including BenchmarkFigureFleet,
-# the rack-scale fleet run reporting aggregate simulated IOPS/s — simulate
-# whole experiments and run once each (-benchtime=1x).
+# regeneration benchmarks at the repo root — including BenchmarkFigureFleet
+# and BenchmarkFleetScaling, the rack-scale fleet runs reporting aggregate
+# simulated IOPS/s (FleetScaling adds speedup-vs-w1 and scale-eff across
+# 64/256-device racks at 1/2/4/8 workers) — simulate whole experiments and
+# run once each (-benchtime=1x).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -47,7 +49,7 @@ go test -run=NONE -bench='^Benchmark(Inference|FineTune|GSB|GC|Admission|Simulat
     -benchmem -benchtime="$BENCHTIME" . | tee -a "$tmp"
 
 echo "== figure benchmarks (., -benchtime=1x)"
-go test -run=NONE -bench='^BenchmarkFigure' -benchmem -benchtime=1x . | tee -a "$tmp"
+go test -run=NONE -bench='^Benchmark(Figure|FleetScaling)' -benchmem -benchtime=1x . | tee -a "$tmp"
 
 # One Benchmark line looks like:
 #   BenchmarkInference-8   350436   3359 ns/op   0 B/op   0 allocs/op [extra metrics...]

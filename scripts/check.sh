@@ -15,7 +15,12 @@
 # steady-state device allocation. The RL-kernel gates prove the batched
 # matrix kernels (internal/nn, internal/rl, core.Decide) byte-identical to
 # the scalar path via -scalar-rl figure diffs at 1/2/4 workers, and pin
-# batched inference + PPO updates at zero steady-state allocations.
+# batched inference + PPO updates at zero steady-state allocations. The
+# fleet-scaling gate covers the persistent shard-worker runtime: the
+# barrier stress/shutdown tests run under -race in the fleet package pass
+# above, the epoch loop is pinned at zero steady-state allocs/op, and
+# BenchmarkFleetScaling's workers 1 vs 4 sub-benchmarks must produce
+# byte-identical fleet output (the benchmark fails itself on divergence).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -126,6 +131,17 @@ if ! grep -q 'migrations: started=[1-9][0-9]* completed=[1-9]' "$fleet1"; then
     cat "$fleet1" >&2
     exit 1
 fi
+
+echo "== fleet-scaling gate (epoch-loop allocs, workers 1 vs 4 identity)"
+# The persistent shard-worker runtime must keep the epoch loop — barrier,
+# parallel shard advance + load refresh, sequential control plane —
+# allocation-free once the rack settles, and the load-refresh guard must
+# never emit Inf/NaN utilization. The barrier stress, pinning, and
+# clean-shutdown tests already ran under -race in the fleet package pass
+# above; BenchmarkFleetScaling's workers=1 sub-benchmark is the
+# byte-identity oracle and the workers=4 run fails itself on divergence.
+go test -run 'TestEpochLoopZeroSteadyStateAllocs|TestUtilOverGuards|TestBarrierStress' -count=1 ./internal/fleet/
+go test -run=NONE -bench='^BenchmarkFleetScaling$/devices=64/workers=(1|4)$' -benchtime=1x .
 
 echo "== workload-replay determinism (CSV trace, 1 vs 2 vs 4 workers)"
 # The checked-in sample CSV must convert to the binary trace format and
