@@ -153,6 +153,27 @@ func BenchmarkFigureFleet(b *testing.B) {
 	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "simIOPS/s")
 }
 
+// BenchmarkFigureTiers runs the hybrid-rack scenario — an 8-device
+// SLC-like/QLC-like rack under all three tier policies (static-pin,
+// watermark, learned) per iteration — and reports the learned policy's
+// latency-class mean P99, the figure's comparison axis. The learned
+// sub-run trains its per-shard agent stacks online, so this also tracks
+// the placement-head RL cost.
+func BenchmarkFigureTiers(b *testing.B) {
+	opt := benchOptions()
+	var out strings.Builder
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Reset()
+		harness.FigureTiers(&out, opt)
+	}
+	st := harness.TierScenario(fleet.TierLearned, opt)
+	if !st.Balanced() {
+		b.Fatalf("tier ledger imbalance: %+v", st)
+	}
+	b.ReportMetric(st.LsMeanP99Ms, "learned-lsP99-ms")
+}
+
 // fleetFingerprint pins every fleet counter and per-device float for byte
 // comparison across worker counts inside BenchmarkFleetScaling.
 func fleetFingerprint(st fleet.Stats) string {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fleetbench [-fig all|2|3|6|10|14|15|16|17|faults|fleet|workloads|overhead]
+//	fleetbench [-fig all|2|3|6|10|14|15|16|17|faults|fleet|tiers|workloads|overhead]
 //	           [-seconds N] [-model file] [-parallel N] [-faults spec] [-fleet N]
 //	           [-fleet-workers N] [-pin] [-workload shape] [-trace file]
 //
@@ -22,6 +22,11 @@
 // -fig fleet runs the rack-scale scenario — -fleet N devices (default 64)
 // under one virtual clock, comparing the placement baselines with fleet
 // admission and cold migration live.
+//
+// -fig tiers runs the hybrid-rack scenario — -fleet N devices (default 8)
+// split into a fast SLC-like class and a dense QLC-like class, comparing
+// static-pin, adaptive-watermark, and learned promote/demote placement on
+// latency-class tail latency at matched capacity.
 //
 // -fig workloads sweeps the temporal-realism ladder (steady, diurnal,
 // bursty, trace replay) plus a cohort-churn rack with live traffic typing
@@ -49,7 +54,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fleetbench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: all, 2, 3, 6, 10, 14, 15, 16, 17, faults, fleet, workloads, overhead")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 2, 3, 6, 10, 14, 15, 16, 17, faults, fleet, tiers, workloads, overhead")
 	seconds := flag.Float64("seconds", 8, "measured virtual seconds per run")
 	warmup := flag.Float64("warmup", 4, "virtual warmup seconds per run")
 	windowMs := flag.Int("window", 250, "decision window in milliseconds")
@@ -112,8 +117,10 @@ func main() {
 		}
 		log.Printf("replaying %d trace records from %s", len(recs), *traceFile)
 	}
-	if *fig != "fleet" {
-		// The fleet scenario has no RL policy to seed; skip pretraining.
+	if *fig != "fleet" && *fig != "tiers" {
+		// The fleet scenarios have no pretrained RL policy to seed (the
+		// tiered rack's learned agents train online from scratch); skip
+		// pretraining.
 		opt = harness.WithPretrained(opt)
 	}
 
@@ -173,6 +180,8 @@ func main() {
 		harness.FigureFaults(w, harness.EvalPairs()[:2], opt)
 	case "fleet":
 		harness.FigureFleet(w, opt)
+	case "tiers":
+		harness.FigureTiers(w, opt)
 	case "workloads":
 		harness.FigureWorkloads(w, harness.EvalPairs()[:2], opt)
 	case "overhead":

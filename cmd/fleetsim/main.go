@@ -35,6 +35,11 @@
 // baseline chosen by -placement (least-loaded, round-robin, or hash).
 // -mix/-policy/-faults/-trace/-workload/-decisions apply only to
 // single-device runs.
+//
+// -tiers (with -fleet) makes the rack hybrid: a fast SLC-like device
+// class plus a dense QLC-like class, with promote/demote driven by
+// -tier-policy (static-pin, watermark, or learned). -placement is
+// ignored on hybrid racks.
 package main
 
 import (
@@ -70,6 +75,8 @@ func main() {
 	faults := flag.String("faults", "", "NAND fault injection: off, light, heavy, or k=v list (pfail=,efail=,rretry=,tmo=,maxretries=,rstep=,stall=,seed=)")
 	fleetN := flag.Int("fleet", 0, "run a rack-scale fleet of N devices instead of a single-device experiment")
 	placement := flag.String("placement", "least-loaded", "fleet placement baseline: least-loaded, round-robin, or hash (with -fleet)")
+	tiers := flag.Bool("tiers", false, "make the -fleet rack hybrid (SLC-like + QLC-like device classes) with promote/demote placement")
+	tierPolicy := flag.String("tier-policy", "learned", "tier promote/demote policy: static-pin, watermark, or learned (with -tiers)")
 	fleetWorkers := flag.Int("fleet-workers", 0, "persistent shard-worker pool size for -fleet runs, overriding -parallel (0 = use -parallel, 1 = sequential; output is byte-identical)")
 	pin := flag.Bool("pin", false, "lock each fleet shard worker to an OS thread (scheduling hint; output is unchanged)")
 	scalarRL := flag.Bool("scalar-rl", false, "use the scalar (per-agent, per-sample) RL kernels instead of the batched ones; output is bit-identical either way")
@@ -106,8 +113,18 @@ func main() {
 			}
 			log.Printf("observability on http://%s (/metrics, /debug/pprof/)", srv.Addr())
 		}
-		log.Printf("running %d-device fleet, %s placement...", *fleetN, pk)
-		st := harness.FleetScenario(pk, opt)
+		var st fleet.Stats
+		if *tiers {
+			tp, err := fleet.ParseTierPolicy(*tierPolicy)
+			if err != nil {
+				log.Fatalf("parsing -tier-policy: %v", err)
+			}
+			log.Printf("running %d-device hybrid fleet, %s tier policy...", *fleetN, tp)
+			st = harness.TierScenario(tp, opt)
+		} else {
+			log.Printf("running %d-device fleet, %s placement...", *fleetN, pk)
+			st = harness.FleetScenario(pk, opt)
+		}
 		st.Render(os.Stdout)
 		if srv != nil {
 			log.Printf("run finished; serving on http://%s until interrupted", srv.Addr())

@@ -20,7 +20,9 @@
 //   - a rack-scale fleet layer (internal/fleet): device shards under one
 //     virtual clock advanced by a persistent worker pool between epoch
 //     barriers, with placement baselines, slot-based fleet admission,
-//     and cold vSSD migration — byte-identical at any worker count;
+//     cold vSSD migration, and hybrid SLC-like/QLC-like device classes
+//     with learned promote/demote placement — byte-identical at any
+//     worker count;
 //   - synthetic generators for the paper's nine cloud workloads — with
 //     temporal overlays (diurnal harmonics, MMPP bursts) and deterministic
 //     replay of recorded block traces (binary or MSR-/Alibaba-style CSV;

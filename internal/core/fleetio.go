@@ -79,6 +79,22 @@ type FleetIOConfig struct {
 	// incompatible with a Pretrained network built at the base width.
 	ErrorRateState bool
 
+	// PlacementHead appends a fourth categorical action head of width
+	// len(TierLevels): a per-window tier hint (fast vs dense) for the
+	// agent's tenant. The hint is not a device action — emit issues the
+	// same three vssd.Actions either way — it is read by the fleet
+	// control plane at epoch barriers via TierHint and turned into
+	// promote/demote migrations there. Off (the default), the head layout
+	// and every RNG draw are unchanged, so the tier-off path stays
+	// byte-identical.
+	PlacementHead bool
+	// TierOccState appends the fast-tier occupancy feature (fed by the
+	// fleet control plane via SetTierOcc at epoch barriers) to every
+	// window state, following the ErrorRateState width pattern. Like
+	// ErrorRateState it widens the network input, so it is incompatible
+	// with a Pretrained network built at the base width.
+	TierOccState bool
+
 	// TypeModel classifies workloads for per-type α (§3.4); nil keeps the
 	// unified α.
 	TypeModel *cluster.Model
@@ -106,6 +122,12 @@ type agent struct {
 	lastActions []int
 	lastLogProb float64
 	lastValue   float64
+
+	// tierHint is the last placement-head sample (PlacementHead on);
+	// -1 until the agent's first decision window closes. tierOcc is the
+	// fast-tier occupancy the control plane last pushed (TierOccState).
+	tierHint int
+	tierOcc  float64
 
 	rec *trace.Recorder
 }
@@ -161,45 +183,76 @@ func NewFleetIO(plat *vssd.Platform, cfg FleetIOConfig) *FleetIO {
 		cfg.RL.ScalarKernels = true
 	}
 	f := &FleetIO{cfg: cfg, plat: plat, rng: sim.NewRNG(cfg.Seed)}
-	width := StatesPerWindow
-	if cfg.ErrorRateState {
-		width = StatesPerWindowExt
-	}
-	dim := cfg.HistoryWindows * width
-	f.stateDim = dim
-	heads := []int{len(HarvestLevels), len(HarvestLevels), len(PriorityLevels)}
-	newNet := func(r *sim.RNG) *nn.ActorCritic {
-		if cfg.Pretrained != nil {
-			return cfg.Pretrained.Clone()
-		}
-		return nn.NewActorCritic(dim, 50, heads, r)
-	}
+	f.stateDim = cfg.HistoryWindows * f.stateWidth()
 	if cfg.ShareModel {
 		// Shared-model training continues on the provided network in place
 		// (pretraining episodes chain); without one, a fresh net is built.
 		net := cfg.Pretrained
 		if net == nil {
-			net = nn.NewActorCritic(dim, 50, heads, f.rng.Split(-1))
+			net = nn.NewActorCritic(f.stateDim, 50, f.heads(), f.rng.Split(-1))
 		}
 		f.shared = rl.New(net, cfg.RL, f.rng.Split(-2))
 	}
-	chanBW := plat.FlashConfig().ChannelBandwidth()
-	for i, v := range plat.VSSDs() {
+	f.SyncAgents()
+	return f
+}
+
+// stateWidth is the per-window feature count under the configured
+// optional state extensions.
+func (f *FleetIO) stateWidth() int {
+	width := StatesPerWindow
+	if f.cfg.ErrorRateState {
+		width = StatesPerWindowExt
+	}
+	if f.cfg.TierOccState {
+		width++
+	}
+	return width
+}
+
+// heads is the action-head layout: the three device heads, plus the
+// placement head when configured.
+func (f *FleetIO) heads() []int {
+	heads := []int{len(HarvestLevels), len(HarvestLevels), len(PriorityLevels)}
+	if f.cfg.PlacementHead {
+		heads = append(heads, len(TierLevels))
+	}
+	return heads
+}
+
+func (f *FleetIO) newNet(r *sim.RNG) *nn.ActorCritic {
+	if f.cfg.Pretrained != nil {
+		return f.cfg.Pretrained.Clone()
+	}
+	return nn.NewActorCritic(f.stateDim, 50, f.heads(), r)
+}
+
+// SyncAgents appends an agent for every platform vSSD beyond the current
+// agent count. The constructor uses it for the initial build; fleet
+// shards call it again from the control plane after placing or migrating
+// a tenant mid-run (vssd.Platform only ever appends), so agent i is
+// always vSSD i and per-agent RNG streams (Split by index) stay
+// deterministic regardless of when each vSSD appeared.
+func (f *FleetIO) SyncAgents() {
+	chanBW := f.plat.FlashConfig().ChannelBandwidth()
+	width := f.stateWidth()
+	for i := len(f.agents); i < len(f.plat.VSSDs()); i++ {
+		v := f.plat.VSSD(i)
 		a := &agent{
-			id:     i,
-			hist:   NewHistoryWidth(cfg.HistoryWindows, width),
-			alpha:  UnifiedAlpha,
-			scales: DefaultScales(len(v.Tenant().Channels()), chanBW, int64(v.Tenant().LogicalPages())*int64(plat.FlashConfig().PageSize)),
+			id:       i,
+			hist:     NewHistoryWidth(f.cfg.HistoryWindows, width),
+			alpha:    UnifiedAlpha,
+			tierHint: -1,
+			scales:   DefaultScales(len(v.Tenant().Channels()), chanBW, int64(v.Tenant().LogicalPages())*int64(f.plat.FlashConfig().PageSize)),
 		}
-		if cfg.ShareModel {
+		if f.cfg.ShareModel {
 			a.ppo = f.shared
 		} else {
 			r := f.rng.Split(int64(i))
-			a.ppo = rl.New(newNet(r), cfg.RL, r.Split(7))
+			a.ppo = rl.New(f.newNet(r), f.cfg.RL, r.Split(7))
 		}
 		f.agents = append(f.agents, a)
 	}
-	return f
 }
 
 // Name implements Policy.
@@ -214,6 +267,17 @@ func (f *FleetIO) SetRecorder(vssdID int, rec *trace.Recorder) {
 // SetAlpha pins an agent's reward coefficient (used by tests and the
 // α-tuning pipeline).
 func (f *FleetIO) SetAlpha(vssdID int, alpha float64) { f.agents[vssdID].alpha = alpha }
+
+// TierHint returns the agent's last placement-head sample (a TierLevels
+// value), or -1 before its first decision window closes or when the
+// placement head is off. The fleet control plane reads it at epoch
+// barriers.
+func (f *FleetIO) TierHint(vssdID int) int { return f.agents[vssdID].tierHint }
+
+// SetTierOcc pushes the fast-tier occupancy the agent observes in its
+// next window state (TierOccState on). Called by the fleet control plane
+// at epoch barriers, between the shard's decision windows.
+func (f *FleetIO) SetTierOcc(vssdID int, occ float64) { f.agents[vssdID].tierOcc = occ }
 
 // Alpha returns an agent's current reward coefficient.
 func (f *FleetIO) Alpha(vssdID int) float64 { return f.agents[vssdID].alpha }
@@ -390,6 +454,9 @@ func (f *FleetIO) closeWindow(a *agent, snap vssd.WindowSnapshot, reward, otherI
 	} else {
 		ws = EncodeWindow(snap, a.scales, otherIOPS, otherVio)
 	}
+	if f.cfg.TierOccState {
+		ws = append(ws, clamp(a.tierOcc, 0, 1))
+	}
 	a.hist.Push(ws)
 	return a.hist.Vector()
 }
@@ -407,6 +474,12 @@ func (f *FleetIO) closeWindow(a *agent, snap vssd.WindowSnapshot, reward, otherI
 // agent will increase the priority level", enforced as a guardrail
 // so one badly sampled action cannot cost a window of tail latency.
 func (f *FleetIO) emit(actions []vssd.Action, i int, a *agent, acts []int, vioRate, chanBW, single, mixed float64) []vssd.Action {
+	if f.cfg.PlacementHead {
+		// The placement head is not a device action: the sample is parked
+		// on the agent for the fleet control plane to read (TierHint) at
+		// the next epoch barrier and turn into a promote/demote migration.
+		a.tierHint = TierFromHead(acts[3])
+	}
 	level := PriorityLevels[acts[2]]
 	if a.alpha <= 1e-9 {
 		if level > 2 {

@@ -1,0 +1,41 @@
+package core
+
+import "fmt"
+
+// Tier ids for hybrid (tiered) fleets. Tier 0 is the fast, low-latency,
+// low-density class (SLC-like); tier 1 is the dense, slow class
+// (QLC-like). The fleet layer assigns device shards to tiers; the
+// placement action head below emits one of these per decision window.
+const (
+	// TierFast is the short-ReadPage/ProgramPage, few-blocks class.
+	TierFast = 0
+	// TierDense is the long-timing, many-blocks class.
+	TierDense = 1
+)
+
+// TierLevels maps the placement head's categorical index to a tier id
+// (head index → tier), the same head-to-level shape as HarvestLevels and
+// PriorityLevels. Its length is the head width.
+var TierLevels = []int{TierFast, TierDense}
+
+// TierFromHead decodes a placement-head sample into a tier id. It panics
+// on an out-of-range head index — the head width and TierLevels are built
+// from the same slice, so a mismatch is a programming error.
+func TierFromHead(h int) int {
+	if h < 0 || h >= len(TierLevels) {
+		panic(fmt.Sprintf("core: placement head index %d out of range [0,%d)", h, len(TierLevels)))
+	}
+	return TierLevels[h]
+}
+
+// HeadFromTier encodes a tier id as the placement-head index that emits
+// it (the inverse of TierFromHead). Panics on a tier no head level maps
+// to.
+func HeadFromTier(tier int) int {
+	for h, t := range TierLevels {
+		if t == tier {
+			return h
+		}
+	}
+	panic(fmt.Sprintf("core: no placement head level for tier %d", tier))
+}

@@ -49,13 +49,35 @@ import (
 // a sensible default (see the field comments); Devices and Duration are
 // required.
 type Config struct {
-	// Devices is the number of flash-device shards (required, >= 1).
+	// Devices is the number of flash-device shards (required, >= 1 —
+	// unless Classes is set, in which case it may be left 0 and is derived
+	// as the class sum).
 	Devices int
 	// Seed derives every stream in the fleet (per-shard, per-tenant, and
 	// control) via sim.RNG.Stream, so runs are seed-deterministic.
 	Seed int64
 	// Flash is the per-device geometry; zero value → DefaultDeviceConfig.
+	// Ignored when Classes is set (each class carries its own geometry).
 	Flash flash.Config
+
+	// Classes, when set, makes the rack hybrid: each entry contributes
+	// Devices shards with its own flash geometry, assigned class-contiguous
+	// device ids (class 0 first). Class 0 is the fast tier by convention.
+	// Unset (the default), the rack is homogeneous on Flash and every
+	// tier-* field below is inert — that path is byte-identical to a
+	// pre-tiering fleet.
+	Classes []DeviceClass
+	// TierPolicy selects the promote/demote driver on a hybrid rack.
+	TierPolicy TierPolicyKind
+	// TierLowWater/TierHighWater are the watermark policy's fast-tier
+	// occupancy thresholds (0 → 0.60 / 0.95).
+	TierLowWater  float64
+	TierHighWater float64
+	// TierSLO is the latency SLO stamped on latency-class tenants of a
+	// hybrid rack (0 → 2 ms; negative → none). Metric-only on the
+	// baseline policies; under TierLearned it also feeds each agent's
+	// SLO-violation state and reward.
+	TierSLO sim.Time
 	// Window is the per-device decision window (0 → 100 ms).
 	Window sim.Time
 	// Quantum is the epoch length — the granularity of cross-device
@@ -86,8 +108,9 @@ type Config struct {
 	// MigrateAfter holds migrations back until the fleet has settled
 	// (0 → 4 quanta).
 	MigrateAfter sim.Time
-	// MaxMigrations bounds concurrently in-flight migrations
-	// (0 → Devices/8+1).
+	// MaxMigrations bounds concurrently in-flight migrations, including
+	// tier promotes/demotes (0 → Devices/8+1; negative → no migrations of
+	// any kind may start, the migration-free fleet).
 	MaxMigrations int
 
 	// Lifetime, when > 0, gives each placed tenant an exponentially
@@ -100,7 +123,8 @@ type Config struct {
 	// Stats.TypeCounts (the clusterer's workload-type view of the fleet).
 	TypeModel *cluster.Model
 
-	// PrefillFrac warms each placed tenant's logical space (0 → 0.35).
+	// PrefillFrac warms each placed tenant's logical space (0 → 0.35;
+	// negative → no prefill, the cold-start fleet tiered scenarios use).
 	PrefillFrac float64
 	// Workers sizes the persistent shard-worker pool (0 → GOMAXPROCS,
 	// 1 → inline sequential, capped at Devices). The pool is created once
@@ -139,6 +163,41 @@ func DefaultWorkloadCycle() []string {
 
 // withDefaults resolves every zero field.
 func (c Config) withDefaults() Config {
+	if len(c.Classes) > 0 {
+		// Copy before mutating: callers share class slices across runs
+		// (FigureTiers builds one per policy from the same literal).
+		classes := make([]DeviceClass, len(c.Classes))
+		copy(classes, c.Classes)
+		sum := 0
+		for i := range classes {
+			if classes[i].Devices <= 0 {
+				panic(fmt.Sprintf("fleet: Classes[%d].Devices must be >= 1", i))
+			}
+			if classes[i].Flash.Channels == 0 {
+				classes[i].Flash = DefaultDeviceConfig()
+			}
+			if classes[i].Name == "" {
+				classes[i].Name = fmt.Sprintf("class%d", i)
+			}
+			sum += classes[i].Devices
+		}
+		if c.Devices != 0 && c.Devices != sum {
+			panic(fmt.Sprintf("fleet: Config.Devices=%d but Classes sum to %d", c.Devices, sum))
+		}
+		c.Devices = sum
+		c.Classes = classes
+		if c.TierLowWater == 0 {
+			c.TierLowWater = 0.60
+		}
+		if c.TierHighWater == 0 {
+			c.TierHighWater = 0.95
+		}
+		if c.TierSLO == 0 {
+			c.TierSLO = 2 * sim.Millisecond
+		} else if c.TierSLO < 0 {
+			c.TierSLO = 0
+		}
+	}
 	if c.Devices <= 0 {
 		panic("fleet: Config.Devices must be >= 1")
 	}
@@ -181,11 +240,18 @@ func (c Config) withDefaults() Config {
 	if c.MigrateAfter <= 0 {
 		c.MigrateAfter = 4 * c.Quantum
 	}
-	if c.MaxMigrations <= 0 {
+	// Zero means "unset, pick the default"; a negative sentinel means
+	// "explicitly disabled". Folding both into <= 0 made cold (no-prefill)
+	// and migration-free fleets impossible to request.
+	if c.MaxMigrations == 0 {
 		c.MaxMigrations = c.Devices/8 + 1
+	} else if c.MaxMigrations < 0 {
+		c.MaxMigrations = 0
 	}
-	if c.PrefillFrac <= 0 {
+	if c.PrefillFrac == 0 {
 		c.PrefillFrac = 0.35
+	} else if c.PrefillFrac < 0 {
+		c.PrefillFrac = 0
 	}
 	return c
 }
@@ -249,6 +315,14 @@ type Tenant struct {
 
 	arrival  sim.Time
 	placedAt sim.Time
+	// class is the workload's latency/bandwidth class, resolved once at
+	// construction (tier placement and the tail-latency roll-up read it).
+	class workload.Class
+	// pageSize/logicalPages snapshot the tenant's device geometry at
+	// placement, for classification after the tenant departs or on racks
+	// where classes differ per device.
+	pageSize     int
+	logicalPages int64
 	// departAt ends the tenant's session when Config.Lifetime is set
 	// (0 = stays for the whole run).
 	departAt sim.Time
@@ -295,7 +369,13 @@ type Fleet struct {
 	departed            int
 	migStarted, migDone int
 	migDowntime         sim.Time
-	metrics             *fleetMetrics
+	// Cross-tier migration ledger (hybrid racks): started/completed
+	// promotes (into the fast tier) and demotes (out of it), and the
+	// payload bytes their completed copies wrote.
+	promoStarted, demoStarted int
+	promotes, demotes         int
+	xTierBytes                int64
+	metrics                   *fleetMetrics
 }
 
 // New builds the fleet: every shard's engine, platform, and runner, the
@@ -306,27 +386,38 @@ func New(cfg Config) *Fleet {
 	if err := cfg.Flash.Validate(); err != nil {
 		panic(err)
 	}
+	for _, cl := range cfg.Classes {
+		if err := cl.Flash.Validate(); err != nil {
+			panic(err)
+		}
+	}
 	base := sim.NewRNG(cfg.Seed)
 	f := &Fleet{cfg: cfg, ctrl: base.Stream(-1)}
 	f.shards = make([]*Shard, cfg.Devices)
 	for i := range f.shards {
-		f.shards[i] = newShard(i, cfg, base.Stream(int64(i)))
+		fc, tier := cfg.shardClass(i)
+		f.shards[i] = newShard(i, cfg, fc, tier, base.Stream(int64(i)))
 	}
 	f.arrivals = make([]sim.Time, cfg.Tenants)
 	f.tenants = make([]*Tenant, cfg.Tenants)
 	for i := range f.tenants {
 		f.arrivals[i] = sim.Time(i+1) * cfg.ArrivalEvery
+		name := cfg.Workloads[i%len(cfg.Workloads)]
 		f.tenants[i] = &Tenant{
 			ID:       i,
-			Workload: cfg.Workloads[i%len(cfg.Workloads)],
+			Workload: name,
 			State:    StateQueued,
 			Device:   -1,
 			arrival:  f.arrivals[i],
+			class:    workload.ByName(name).Class,
 			rng:      base.Stream(int64(1<<20 + i)),
 		}
 	}
 	if cfg.Obs != nil {
 		f.metrics = newFleetMetrics(cfg.Obs)
+		if f.tiered() {
+			f.metrics.tier = newTierMetrics(cfg.Obs, cfg.Classes)
+		}
 	}
 	return f
 }
@@ -420,6 +511,12 @@ func (f *Fleet) controlPlane(now sim.Time) {
 	f.stepMigrations(now)
 	if f.cfg.Lifetime > 0 {
 		f.stepDepartures(now)
+	}
+	// Tier moves go before the admission queue retries: a slot a departure
+	// just freed can host a promote before a queued arrival claims it —
+	// otherwise an oversubscribed rack starves the tier policy forever.
+	if f.tiered() && now >= f.cfg.MigrateAfter {
+		f.stepTiers(now)
 	}
 
 	// Queued tenants retry before new arrivals (FIFO fairness).
@@ -619,8 +716,21 @@ func (f *Fleet) Collect() Stats {
 	if f.now > 0 {
 		secs := float64(f.now) / 1e9
 		s.AggBandwidthMBps = float64(hostBytes) / secs / 1e6
-		peak := f.shards[0].peakBandwidth() * float64(len(f.shards))
+		// Hybrid racks sum per-shard peaks; the homogeneous formula stays
+		// the single multiply it always was, keeping its float operation
+		// order (and so the tier-off byte identity) untouched.
+		var peak float64
+		if f.tiered() {
+			for _, sh := range f.shards {
+				peak += sh.peakBandwidth()
+			}
+		} else {
+			peak = f.shards[0].peakBandwidth() * float64(len(f.shards))
+		}
 		s.AvgUtil = utilOver(hostBytes, peak*secs)
+	}
+	if f.tiered() {
+		f.collectTiers(&s)
 	}
 	s.MinUtil, s.MaxUtil = 1e18, -1e18
 	for _, ds := range s.PerDevice {
@@ -665,13 +775,14 @@ func (f *Fleet) collectShards(lo, hi int, per []DeviceStats) {
 // requests are skipped — the same floor core.FleetIO.retype uses.
 func (f *Fleet) classifyTenants() []TypeCount {
 	counts := map[string]int{}
-	pageSize := f.cfg.Flash.PageSize
-	logical := int64(slotLogicalPages(f.cfg))
 	for _, tn := range f.tenants[:f.nextArr] {
 		if tn.rec == nil || tn.rec.Len() < 100 {
 			continue
 		}
-		c, known := f.cfg.TypeModel.ClassifyTrace(tn.rec.Records(), pageSize, logical)
+		// Classify against the geometry snapshotted at the tenant's last
+		// placement (identical to the rack geometry on homogeneous fleets;
+		// the tenant's own class geometry on hybrid ones).
+		c, known := f.cfg.TypeModel.ClassifyTrace(tn.rec.Records(), tn.pageSize, tn.logicalPages)
 		counts[f.cfg.TypeModel.Label(c, known)]++
 	}
 	out := make([]TypeCount, 0, len(counts))
@@ -691,6 +802,16 @@ type Shard struct {
 	runner *core.Runner
 	rng    *sim.RNG
 
+	// tier is the device-class index (always 0 on homogeneous racks); fc
+	// the class geometry the shard was built with.
+	tier int
+	fc   flash.Config
+	// fio is the shard's deployed agent stack under TierLearned (nil
+	// otherwise): per-vSSD PPO agents with the placement head, training
+	// online. The control plane reads tier hints from it at epoch
+	// barriers.
+	fio *core.FleetIO
+
 	// slotsUsed counts occupied admission slots (running tenants plus
 	// reserved migration destinations).
 	slotsUsed int
@@ -708,16 +829,31 @@ type Shard struct {
 	_         [cacheLine - 24]byte
 }
 
-// newShard builds one device shard on its own engine.
-func newShard(id int, cfg Config, rng *sim.RNG) *Shard {
+// newShard builds one device shard on its own engine, with the class
+// geometry fc (== cfg.Flash on homogeneous racks). Under TierLearned the
+// shard's decision runner deploys the FleetIO agent stack instead of the
+// static placeholder policy.
+func newShard(id int, cfg Config, fc flash.Config, tier int, rng *sim.RNG) *Shard {
 	eng := sim.NewEngine()
 	pc := vssd.DefaultPlatformConfig()
-	pc.Flash = cfg.Flash
+	pc.Flash = fc
 	plat := vssd.NewPlatform(eng, pc)
-	sh := &Shard{id: id, eng: eng, plat: plat, rng: rng}
+	sh := &Shard{id: id, eng: eng, plat: plat, rng: rng, tier: tier, fc: fc}
+	var pol core.Policy = core.StaticPolicy{PolicyName: "fleet-device"}
+	if len(cfg.Classes) > 0 && cfg.TierPolicy == TierLearned {
+		// The shard RNG is otherwise never drawn from, so seeding the agent
+		// stack off it costs the non-learned paths nothing.
+		sh.fio = core.NewFleetIO(plat, core.FleetIOConfig{
+			Train:         true,
+			Seed:          rng.Int63(),
+			PlacementHead: true,
+			TierOccState:  true,
+		})
+		pol = sh.fio
+	}
 	sh.runner = &core.Runner{
 		Plat:   plat,
-		Policy: core.StaticPolicy{PolicyName: "fleet-device"},
+		Policy: pol,
 		Window: cfg.Window,
 	}
 	return sh
@@ -744,12 +880,20 @@ func (s *Shard) peakBandwidth() float64 {
 	return cfg.ChannelBandwidth() * float64(cfg.Channels)
 }
 
-// slotLogicalPages is one admission slot's logical capacity: the device's
-// non-overprovisioned space divided by the slot count, with one slot of
-// headroom so migration copies and dead pre-trim data cannot wedge GC.
+// slotLogicalPagesFor is one admission slot's logical capacity on a
+// device with geometry fc: the non-overprovisioned space divided by the
+// slot count, with one slot of headroom so migration copies and dead
+// pre-trim data cannot wedge GC. On a hybrid rack a fast-tier slot is
+// smaller than a dense-tier slot — a promote clamps its copy to the
+// destination's capacity, like any migration.
+func slotLogicalPagesFor(fc flash.Config, slotsPerDevice int) int {
+	total := fc.TotalBlocks() * fc.PagesPerBlock
+	return int(float64(total) * 0.8 / float64(slotsPerDevice+1))
+}
+
+// slotLogicalPages is slotLogicalPagesFor on the homogeneous geometry.
 func slotLogicalPages(cfg Config) int {
-	total := cfg.Flash.TotalBlocks() * cfg.Flash.PagesPerBlock
-	return int(float64(total) * 0.8 / float64(cfg.SlotsPerDevice+1))
+	return slotLogicalPagesFor(cfg.Flash, cfg.SlotsPerDevice)
 }
 
 // addTenantVSSD creates the tenant's vSSD on this shard (software-isolated
@@ -759,7 +903,7 @@ func slotLogicalPages(cfg Config) int {
 // migrated tenants skip it because the copy writes are their prefill.
 func (s *Shard) addTenantVSSD(tn *Tenant, cfg Config) *vssd.VSSD {
 	prof := workload.ByName(tn.Workload)
-	chans := make([]int, cfg.Flash.Channels)
+	chans := make([]int, s.fc.Channels)
 	for i := range chans {
 		chans[i] = i
 	}
@@ -767,9 +911,30 @@ func (s *Shard) addTenantVSSD(tn *Tenant, cfg Config) *vssd.VSSD {
 		Name:             fmt.Sprintf("t%d-%s-m%d", tn.ID, tn.Workload, tn.Migrations),
 		Isolation:        vssd.SoftwareIsolated,
 		Channels:         chans,
-		LogicalPages:     slotLogicalPages(cfg),
+		LogicalPages:     slotLogicalPagesFor(s.fc, cfg.SlotsPerDevice),
 		MaxInflightPages: prof.MaxInflightPages,
 	})
+	tn.pageSize = s.fc.PageSize
+	tn.logicalPages = int64(v.Tenant().LogicalPages())
+	if len(cfg.Classes) > 0 {
+		if cfg.TierSLO > 0 && tn.class == workload.Latency {
+			v.SetSLO(cfg.TierSLO)
+		}
+		if s.fio != nil {
+			// The platform only ever appends vSSDs, so syncing here keeps
+			// agent i == vSSD i before the next decision window fires.
+			s.fio.SyncAgents()
+			// α follows the workload class, mirroring the paper's per-type
+			// reward: latency-class tenants carry the isolation term (and
+			// emit's SLO-escalation guardrail), bandwidth-class tenants get
+			// α=0, which also caps their priority at medium.
+			alpha := 0.0
+			if tn.class == workload.Latency {
+				alpha = core.AlphaLC1
+			}
+			s.fio.SetAlpha(v.ID(), alpha)
+		}
+	}
 	if tn.Migrations == 0 {
 		prefill(v, cfg.PrefillFrac, tn.rng)
 	}

@@ -19,6 +19,13 @@ type migration struct {
 	dstVSSD  *vssd.VSSD
 	started  sim.Time
 
+	// tierMove classifies the migration on a hybrid rack: +1 promote
+	// (into a lower tier index, i.e. the fast tier), -1 demote, 0 within
+	// one tier. copyPages is the clamped page count both copiers move,
+	// recorded for the cross-tier byte ledger.
+	tierMove  int8
+	copyPages int
+
 	srcCopy *copier
 	dstCopy *copier
 }
@@ -133,9 +140,19 @@ func (f *Fleet) pickVictim(dev int, now sim.Time) *Tenant {
 }
 
 // startMigration reserves the destination slot and begins the drain.
+// Any migration that crosses a tier boundary — a tier policy's move or
+// plain load balancing on a hybrid rack — enters the promote/demote
+// ledger.
 func (f *Fleet) startMigration(tn *Tenant, dst int, now sim.Time) {
 	f.shards[dst].slotsUsed++
 	m := &migration{tenant: tn, src: tn.Device, dst: dst, srcVSSD: tn.vssd, started: now}
+	if st, dt := f.shards[m.src].tier, f.shards[dst].tier; dt < st {
+		m.tierMove = 1
+		f.promoStarted++
+	} else if dt > st {
+		m.tierMove = -1
+		f.demoStarted++
+	}
 	tn.State = StateDraining
 	tn.mig = m
 	tn.gen.Stop()
@@ -181,6 +198,7 @@ func (f *Fleet) beginCopy(m *migration) {
 	if lim := m.dstVSSD.Tenant().LogicalPages(); pages > lim {
 		pages = lim
 	}
+	m.copyPages = pages
 	m.srcCopy = newCopier(m.srcVSSD, false, pages)
 	m.dstCopy = newCopier(m.dstVSSD, true, pages)
 }
@@ -205,6 +223,10 @@ func (f *Fleet) cutOver(m *migration, now sim.Time) {
 	}
 	tn.vssd = m.dstVSSD
 	tn.lastBytes = m.dstVSSD.TotalBytesMoved()
+	// The destination's latency history so far is the bulk copy stream,
+	// not tenant traffic; reset it so post-migration P99 (the tiered
+	// tail-latency roll-up) measures the new placement only.
+	m.dstVSSD.TotalHist().Reset()
 	tn.Downtime += now - m.started
 	tn.State = StateRunning
 	tn.placedAt = now
@@ -214,4 +236,12 @@ func (f *Fleet) cutOver(m *migration, now sim.Time) {
 	tn.gen.Start()
 	f.migDone++
 	f.migDowntime += now - m.started
+	if m.tierMove != 0 {
+		if m.tierMove > 0 {
+			f.promotes++
+		} else {
+			f.demotes++
+		}
+		f.xTierBytes += int64(m.copyPages) * int64(f.shards[m.dst].fc.PageSize)
+	}
 }

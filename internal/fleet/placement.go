@@ -52,8 +52,12 @@ func Placements() []PlacementKind {
 
 // place picks a device with a free slot for the tenant, or reports that
 // the rack is full. It runs on the control-plane thread at an epoch
-// boundary, so shard load fields are stable.
+// boundary, so shard load fields are stable. Hybrid racks route through
+// the tier-aware path instead (Config.Placement is ignored there).
 func (f *Fleet) place(tn *Tenant) (int, bool) {
+	if f.tiered() {
+		return f.placeTiered(tn)
+	}
 	n := len(f.shards)
 	switch f.cfg.Placement {
 	case PlaceRoundRobin:

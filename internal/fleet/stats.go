@@ -64,7 +64,39 @@ type Stats struct {
 	// traced tenants (Config.TypeModel set); empty otherwise.
 	TypeCounts []TypeCount
 
+	// Tiers is the per-class roll-up of a hybrid rack (Config.Classes
+	// set); empty otherwise, and every tier field below stays zero.
+	Tiers []TierStats
+	// Cross-tier migration ledger: Started splits by direction and
+	// PromotesStarted+DemotesStarted = Promotes + Demotes +
+	// TierMovesInFlight. Cross-tier moves are also ordinary migrations,
+	// so they count in MigrationsStarted/Completed too.
+	PromotesStarted   int
+	DemotesStarted    int
+	Promotes          int
+	Demotes           int
+	TierMovesInFlight int
+	// CrossTierBytes is payload bytes completed promote/demote copies
+	// wrote to their destinations.
+	CrossTierBytes int64
+	// LsTenants counts latency-class tenants alive with served I/O;
+	// LsWorstP99Ms/LsMeanP99Ms summarize their whole-run P99 tail on
+	// their current device, in milliseconds.
+	LsTenants    int
+	LsWorstP99Ms float64
+	LsMeanP99Ms  float64
+
 	PerDevice []DeviceStats
+}
+
+// TierStats is one device class's slice of the roll-up.
+type TierStats struct {
+	Name      string
+	Devices   int
+	SlotsUsed int
+	Slots     int
+	// MeanUtil is the class's mean per-device utilization over the run.
+	MeanUtil float64
 }
 
 // TypeCount is one workload-type label with the number of tenants the
@@ -85,7 +117,9 @@ func sortTypeCounts(tc []TypeCount) {
 func (s Stats) Balanced() bool {
 	return s.Arrived == s.Running+s.Migrating+s.Queued+s.Rejected+s.Departed &&
 		s.Placed == s.Running+s.Migrating+s.Departed &&
-		s.MigrationsStarted == s.MigrationsCompleted+s.MigrationsInFlight
+		s.MigrationsStarted == s.MigrationsCompleted+s.MigrationsInFlight &&
+		s.PromotesStarted+s.DemotesStarted == s.Promotes+s.Demotes+s.TierMovesInFlight &&
+		s.PromotesStarted+s.DemotesStarted <= s.MigrationsStarted
 }
 
 // Render prints the roll-up as the deterministic fleet table used by
@@ -102,6 +136,17 @@ func (s Stats) Render(w io.Writer) {
 			fmt.Fprintf(w, " %s=%d", tc.Label, tc.Count)
 		}
 		fmt.Fprintf(w, "\n")
+	}
+	if len(s.Tiers) > 0 {
+		fmt.Fprintf(w, "tiers:")
+		for _, ts := range s.Tiers {
+			fmt.Fprintf(w, " %s[dev=%d slots=%d/%d util=%.1f%%]",
+				ts.Name, ts.Devices, ts.SlotsUsed, ts.Slots, ts.MeanUtil*100)
+		}
+		fmt.Fprintf(w, " promotes=%d demotes=%d inflight=%d xbytes=%.1fMB\n",
+			s.Promotes, s.Demotes, s.TierMovesInFlight, float64(s.CrossTierBytes)/1e6)
+		fmt.Fprintf(w, "taillat: ls tenants=%d worstP99=%.2fms meanP99=%.2fms\n",
+			s.LsTenants, s.LsWorstP99Ms, s.LsMeanP99Ms)
 	}
 	fmt.Fprintf(w, "fleet: completed=%d aggBW=%.1fMB/s avgUtil=%.1f%% devUtil min/max=%.1f%%/%.1f%%\n",
 		s.Completed, s.AggBandwidthMBps, s.AvgUtil*100, s.MinUtil*100, s.MaxUtil*100)
@@ -127,6 +172,8 @@ type fleetMetrics struct {
 	// the last epoch's straggler gap (last minus first worker arrival).
 	// Both stay 0 when shards advance inline (Workers == 1).
 	barrierWait, straggler *obs.Metric
+	// tier holds the fleetio_tier_* series; nil on homogeneous racks.
+	tier *tierMetrics
 }
 
 func newFleetMetrics(reg *obs.Registry) *fleetMetrics {
@@ -190,13 +237,25 @@ func (f *Fleet) publishMetrics(now sim.Time) {
 	m.utilMin.Set(min)
 	m.utilMax.Set(max)
 	// Per-device utilizations times one device's peak bandwidth sum to
-	// the fleet's throughput over the epoch (all devices share a geometry).
+	// the fleet's throughput over the epoch on a homogeneous rack; hybrid
+	// racks weight each shard by its own class peak. The homogeneous
+	// multiply keeps its float operation order (tier-off byte identity).
 	// A degenerate peak (0 × Inf = NaN) publishes as 0 instead.
-	bw := sum * f.shards[0].peakBandwidth()
+	var bw float64
+	if f.tiered() {
+		for _, sh := range f.shards {
+			bw += sh.epochUtil * sh.peakBandwidth()
+		}
+	} else {
+		bw = sum * f.shards[0].peakBandwidth()
+	}
 	if math.IsNaN(bw) || math.IsInf(bw, 0) {
 		bw = 0
 	}
 	m.bandwidth.Set(bw)
 	m.simTime.Set(float64(now) / 1e9)
 	m.epochs.Set(float64(f.epochs))
+	if m.tier != nil {
+		f.publishTierMetrics()
+	}
 }

@@ -1,0 +1,429 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/flash"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// DeviceClass is one tier of a hybrid rack: a device count sharing one
+// flash geometry. Tiers are expressed purely through the existing
+// geometry/timing fields — a fast SLC-like class has short ReadPage/
+// ProgramPage and few blocks per chip, a dense QLC-like class long
+// timings and many blocks — so every layer below the fleet (flash, FTL,
+// gSB, vSSD) runs unmodified.
+type DeviceClass struct {
+	// Name labels the class in Stats.Tiers and the fleetio_tier_* series
+	// ("" → class<i>).
+	Name string
+	// Flash is the class geometry (zero value → DefaultDeviceConfig).
+	Flash flash.Config
+	// Devices is how many shards the class contributes (required, >= 1).
+	Devices int
+}
+
+// DefaultTierClasses builds the standard two-tier hybrid rack: a fast
+// SLC-like class (short page timings, half the blocks) and a dense
+// QLC-like class (long page timings, double the blocks), both derived
+// from DefaultDeviceConfig so channel/chip parallelism matches the
+// homogeneous rack. Classes[0] is the fast tier by convention
+// (core.TierFast).
+func DefaultTierClasses(fastDevices, denseDevices int) []DeviceClass {
+	fast := DefaultDeviceConfig()
+	fast.ReadPage = 25 * sim.Microsecond
+	fast.ProgramPage = 200 * sim.Microsecond
+	fast.EraseBlock = 2 * sim.Millisecond
+	fast.BlocksPerChip = 16
+	dense := DefaultDeviceConfig()
+	dense.ReadPage = 140 * sim.Microsecond
+	dense.ProgramPage = 2 * sim.Millisecond
+	dense.EraseBlock = 3500 * sim.Microsecond
+	dense.BlocksPerChip = 64
+	return []DeviceClass{
+		{Name: "fast", Flash: fast, Devices: fastDevices},
+		{Name: "dense", Flash: dense, Devices: denseDevices},
+	}
+}
+
+// TierPolicyKind selects the promote/demote driver of a tiered rack.
+// Initial placement differs too: the static-pin baseline pins by
+// workload class at admission, while the runtime movers start class-blind
+// (least-loaded anywhere) and must discover the assignment.
+type TierPolicyKind uint8
+
+// Tier policies, in comparison order.
+const (
+	// TierStatic is the static-pin baseline: latency-class tenants prefer
+	// the fast tier at admission (bandwidth-class the dense tier), spill
+	// to the other tier when their preferred one is full, and never move
+	// afterwards.
+	TierStatic TierPolicyKind = iota
+	// TierWatermark is the adaptive occupancy baseline: class-blind
+	// least-loaded admission; when fast-tier occupancy crosses
+	// Config.TierHighWater the coldest fast tenant is demoted, and below
+	// Config.TierLowWater the hottest dense tenant is promoted.
+	TierWatermark
+	// TierLearned deploys the full FleetIO agent stack on every shard
+	// (per-vSSD PPO agents with the placement head and fast-tier
+	// occupancy state): agents issue the usual device actions each
+	// window, and the control plane consumes their tier hints at epoch
+	// barriers, promoting tenants that hint fast and demoting
+	// bandwidth-class tenants that hint dense. Guardrails mirror
+	// core.FleetIO.emit's priority guardrails: a latency-class tenant is
+	// never demoted on a sampled hint, and is pulled toward the fast
+	// tier when a slot is free even without one.
+	TierLearned
+)
+
+func (k TierPolicyKind) String() string {
+	switch k {
+	case TierStatic:
+		return "static-pin"
+	case TierWatermark:
+		return "watermark"
+	case TierLearned:
+		return "learned"
+	default:
+		return fmt.Sprintf("TierPolicyKind(%d)", uint8(k))
+	}
+}
+
+// ParseTierPolicy maps a flag value to a TierPolicyKind.
+func ParseTierPolicy(s string) (TierPolicyKind, error) {
+	switch s {
+	case "static", "static-pin", "pin":
+		return TierStatic, nil
+	case "watermark", "wm":
+		return TierWatermark, nil
+	case "learned", "rl":
+		return TierLearned, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown tier policy %q (want static-pin, watermark, or learned)", s)
+}
+
+// TierPolicies lists every tier policy, in comparison order.
+func TierPolicies() []TierPolicyKind {
+	return []TierPolicyKind{TierStatic, TierWatermark, TierLearned}
+}
+
+// tiered reports whether the rack is hybrid (Config.Classes set).
+func (f *Fleet) tiered() bool { return len(f.cfg.Classes) > 0 }
+
+// shardClass resolves device id dev to its class geometry and tier index
+// (devices are assigned class-contiguously, class 0 first).
+func (c Config) shardClass(dev int) (flash.Config, int) {
+	if len(c.Classes) == 0 {
+		return c.Flash, 0
+	}
+	for t, cl := range c.Classes {
+		if dev < cl.Devices {
+			return cl.Flash, t
+		}
+		dev -= cl.Devices
+	}
+	panic(fmt.Sprintf("fleet: device %d beyond class device sum", dev))
+}
+
+// fastRange returns the device-id range [lo, hi) of the fast tier
+// (class 0); denseRange the rest of the rack. Both rely on the
+// class-contiguous device ids New guarantees.
+func (f *Fleet) fastRange() (int, int)  { return 0, f.cfg.Classes[0].Devices }
+func (f *Fleet) denseRange() (int, int) { return f.cfg.Classes[0].Devices, len(f.shards) }
+
+// tierOccupancy is the fast tier's slot occupancy in [0, 1].
+func (f *Fleet) tierOccupancy() float64 {
+	lo, hi := f.fastRange()
+	used := 0
+	for dev := lo; dev < hi; dev++ {
+		used += f.shards[dev].slotsUsed
+	}
+	return float64(used) / float64((hi-lo)*f.cfg.SlotsPerDevice)
+}
+
+// leastLoadedIn picks the device with a free slot in [lo, hi) under the
+// least-loaded ordering, or reports none.
+func (f *Fleet) leastLoadedIn(lo, hi int) (int, bool) {
+	best, ok := -1, false
+	for dev := lo; dev < hi; dev++ {
+		if !f.hasSlot(dev) {
+			continue
+		}
+		if !ok || f.lessLoaded(dev, best) {
+			best, ok = dev, true
+		}
+	}
+	return best, ok
+}
+
+// placeTiered is the tiered-rack admission path (Config.Placement is
+// ignored on hybrid racks). Static-pin prefers the tenant's class tier
+// and spills to the other; the runtime movers (watermark, learned) place
+// class-blind least-loaded and rely on promote/demote to sort the rack.
+func (f *Fleet) placeTiered(tn *Tenant) (int, bool) {
+	if f.cfg.TierPolicy != TierStatic {
+		return f.leastLoadedIn(0, len(f.shards))
+	}
+	fl, fh := f.fastRange()
+	dl, dh := f.denseRange()
+	if tn.class == workload.Latency {
+		if dev, ok := f.leastLoadedIn(fl, fh); ok {
+			return dev, true
+		}
+		return f.leastLoadedIn(dl, dh)
+	}
+	if dev, ok := f.leastLoadedIn(dl, dh); ok {
+		return dev, true
+	}
+	return f.leastLoadedIn(fl, fh)
+}
+
+// settled reports whether the tenant has been on its device long enough
+// (Config.MigrateAfter) to be worth moving — the same settle discipline
+// load-balancing migration uses.
+func (f *Fleet) settled(tn *Tenant, now sim.Time) bool {
+	return now-tn.placedAt >= f.cfg.MigrateAfter
+}
+
+// stepTiers is the tiered control-plane phase, run right after
+// departures and before the admission queue retries, so a slot freed by
+// a departure can host a promote before a queued arrival grabs it. It
+// feeds the fast-tier occupancy to the learned shards' agents, then lets
+// the configured policy start at most one demote and one promote per
+// epoch through the ordinary migration datapath (drain → copy as real
+// simulated I/O → cutover), sharing Config.MaxMigrations with
+// load-balancing migration.
+func (f *Fleet) stepTiers(now sim.Time) {
+	occ := f.tierOccupancy()
+	if f.cfg.TierPolicy == TierLearned {
+		for _, sh := range f.shards {
+			if sh.fio == nil {
+				continue
+			}
+			for _, tn := range sh.resident {
+				if tn.vssd != nil {
+					sh.fio.SetTierOcc(tn.vssd.ID(), occ)
+				}
+			}
+		}
+	}
+	switch f.cfg.TierPolicy {
+	case TierWatermark:
+		f.stepWatermark(now, occ)
+	case TierLearned:
+		f.stepLearned(now)
+	}
+}
+
+// canMigrate reports whether another migration may start under the
+// shared in-flight budget.
+func (f *Fleet) canMigrate() bool {
+	return f.migStarted-f.migDone < f.cfg.MaxMigrations
+}
+
+// stepWatermark runs the adaptive watermark baseline: occupancy above
+// the high water demotes the coldest settled fast tenant; below the low
+// water, the hottest settled dense tenant is promoted. Heat is the
+// per-epoch byte delta, the same victim signal load balancing uses. The
+// policy is class-blind by design — that is what the learned policy has
+// to beat.
+func (f *Fleet) stepWatermark(now sim.Time, occ float64) {
+	if !f.canMigrate() {
+		return
+	}
+	fl, fh := f.fastRange()
+	dl, dh := f.denseRange()
+	if occ >= f.cfg.TierHighWater {
+		victim := f.pickTierVictim(fl, fh, now, false, func(*Tenant) bool { return true })
+		if dst, ok := f.leastLoadedIn(dl, dh); ok && victim != nil {
+			f.startMigration(victim, dst, now)
+		}
+		return
+	}
+	if occ < f.cfg.TierLowWater {
+		victim := f.pickTierVictim(dl, dh, now, true, func(*Tenant) bool { return true })
+		if dst, ok := f.leastLoadedIn(fl, fh); ok && victim != nil {
+			f.startMigration(victim, dst, now)
+		}
+	}
+}
+
+// stepLearned consumes the placement-head hints: at most one demote (a
+// bandwidth-class fast tenant hinting dense) and one promote (a dense
+// tenant hinting fast; latency-class tenants rank first and are pulled
+// up even without a hint when a fast slot is free) per epoch.
+func (f *Fleet) stepLearned(now sim.Time) {
+	fl, fh := f.fastRange()
+	dl, dh := f.denseRange()
+	if f.canMigrate() {
+		victim := f.pickTierVictim(fl, fh, now, false, func(tn *Tenant) bool {
+			return tn.class != workload.Latency && f.tierHint(tn) == core.TierDense
+		})
+		if dst, ok := f.leastLoadedIn(dl, dh); ok && victim != nil {
+			f.startMigration(victim, dst, now)
+		}
+	}
+	if f.canMigrate() {
+		victim := f.pickTierPromotee(dl, dh, now)
+		if dst, ok := f.leastLoadedIn(fl, fh); ok && victim != nil {
+			f.startMigration(victim, dst, now)
+		}
+	}
+}
+
+// tierHint reads the tenant's last placement-head sample from its
+// shard's agent stack (-1 when none yet).
+func (f *Fleet) tierHint(tn *Tenant) int {
+	sh := f.shards[tn.Device]
+	if sh.fio == nil || tn.vssd == nil {
+		return -1
+	}
+	return sh.fio.TierHint(tn.vssd.ID())
+}
+
+// pickTierVictim scans devices [lo, hi) for the running, settled tenant
+// passing want with the extreme per-epoch byte delta — hottest when hot
+// is set, coldest otherwise. Device order then resident order break
+// ties, keeping the choice deterministic.
+func (f *Fleet) pickTierVictim(lo, hi int, now sim.Time, hot bool, want func(*Tenant) bool) *Tenant {
+	var best *Tenant
+	for dev := lo; dev < hi; dev++ {
+		for _, tn := range f.shards[dev].resident {
+			if tn.State != StateRunning || tn.Device != dev || !f.settled(tn, now) || !want(tn) {
+				continue
+			}
+			if best == nil || (hot && tn.epochBytes > best.epochBytes) || (!hot && tn.epochBytes < best.epochBytes) {
+				best = tn
+			}
+		}
+	}
+	return best
+}
+
+// pickTierPromotee ranks dense-tier promote candidates: latency-class
+// tenants first (with or without a hint — the tier analogue of emit's
+// SLO escalation guardrail), then bandwidth-class tenants that hint
+// fast; within a group, hottest wins.
+func (f *Fleet) pickTierPromotee(lo, hi int, now sim.Time) *Tenant {
+	var best *Tenant
+	bestLat := false
+	for dev := lo; dev < hi; dev++ {
+		for _, tn := range f.shards[dev].resident {
+			if tn.State != StateRunning || tn.Device != dev || !f.settled(tn, now) {
+				continue
+			}
+			lat := tn.class == workload.Latency
+			if !lat && f.tierHint(tn) != core.TierFast {
+				continue
+			}
+			if best == nil || (lat && !bestLat) || (lat == bestLat && tn.epochBytes > best.epochBytes) {
+				best, bestLat = tn, lat
+			}
+		}
+	}
+	return best
+}
+
+// collectTiers fills the tier section of the roll-up: per-class device
+// and slot usage, the promote/demote ledger, and the latency-class tail
+// summary (each latency tenant's whole-run P99 on its current device —
+// the histogram resets at cutover, so a migrated tenant reports the
+// latency of its current placement, not the bulk copy).
+func (f *Fleet) collectTiers(s *Stats) {
+	first := 0
+	for _, cl := range f.cfg.Classes {
+		ts := TierStats{Name: cl.Name, Devices: cl.Devices, Slots: cl.Devices * f.cfg.SlotsPerDevice}
+		for dev := first; dev < first+cl.Devices; dev++ {
+			ts.SlotsUsed += f.shards[dev].slotsUsed
+			if f.epochs > 0 {
+				ts.MeanUtil += f.shards[dev].utilSum / float64(f.epochs)
+			}
+		}
+		ts.MeanUtil /= float64(cl.Devices)
+		s.Tiers = append(s.Tiers, ts)
+		first += cl.Devices
+	}
+	s.PromotesStarted = f.promoStarted
+	s.DemotesStarted = f.demoStarted
+	s.Promotes = f.promotes
+	s.Demotes = f.demotes
+	s.TierMovesInFlight = f.promoStarted + f.demoStarted - f.promotes - f.demotes
+	s.CrossTierBytes = f.xTierBytes
+	var sum float64
+	for _, tn := range f.tenants[:f.nextArr] {
+		if tn.class != workload.Latency || tn.vssd == nil {
+			continue
+		}
+		if tn.State != StateRunning && tn.State != StateLeaving {
+			continue
+		}
+		h := tn.vssd.TotalHist()
+		if h.Count() == 0 {
+			continue
+		}
+		p99 := float64(h.P99()) / 1e6
+		s.LsTenants++
+		sum += p99
+		if p99 > s.LsWorstP99Ms {
+			s.LsWorstP99Ms = p99
+		}
+	}
+	if s.LsTenants > 0 {
+		s.LsMeanP99Ms = sum / float64(s.LsTenants)
+	}
+}
+
+// tierMetrics is the fleetio_tier_* series catalogue, registered only on
+// tiered racks (feature-gated series never appear on runs that cannot
+// move them). The per-class series carry a tier label fixed at
+// registration, indexed by class here.
+type tierMetrics struct {
+	slots, slotsUsed, occupancy, utilMean []*obs.Metric
+	promotes, demotes                     *obs.Metric
+	movesInFlight                         *obs.Metric
+	copyBytes                             *obs.Metric
+}
+
+func newTierMetrics(reg *obs.Registry, classes []DeviceClass) *tierMetrics {
+	m := &tierMetrics{
+		promotes:      reg.Counter("fleetio_tier_promotes_total", "Cross-tier migrations completed into the fast tier."),
+		demotes:       reg.Counter("fleetio_tier_demotes_total", "Cross-tier migrations completed out of the fast tier."),
+		movesInFlight: reg.Gauge("fleetio_tier_moves_inflight", "Cross-tier migrations currently draining or copying."),
+		copyBytes:     reg.Counter("fleetio_tier_copy_bytes_total", "Payload bytes written to the destination by completed promotes/demotes."),
+	}
+	for _, cl := range classes {
+		m.slots = append(m.slots, reg.Gauge("fleetio_tier_slots", "Admission slots per device class.", "tier", cl.Name))
+		m.slotsUsed = append(m.slotsUsed, reg.Gauge("fleetio_tier_slots_used", "Occupied admission slots per device class.", "tier", cl.Name))
+		m.occupancy = append(m.occupancy, reg.Gauge("fleetio_tier_occupancy", "Slot occupancy per device class.", "tier", cl.Name))
+		m.utilMean = append(m.utilMean, reg.Gauge("fleetio_tier_util_mean", "Mean device utilization per class over the last epoch.", "tier", cl.Name))
+	}
+	return m
+}
+
+// publishTierMetrics refreshes the fleetio_tier_* series. Called from
+// publishMetrics on the control-plane thread.
+func (f *Fleet) publishTierMetrics() {
+	m := f.metrics.tier
+	first := 0
+	for t, cl := range f.cfg.Classes {
+		used := 0
+		var util float64
+		for dev := first; dev < first+cl.Devices; dev++ {
+			used += f.shards[dev].slotsUsed
+			util += f.shards[dev].epochUtil
+		}
+		slots := cl.Devices * f.cfg.SlotsPerDevice
+		m.slots[t].Set(float64(slots))
+		m.slotsUsed[t].Set(float64(used))
+		m.occupancy[t].Set(float64(used) / float64(slots))
+		m.utilMean[t].Set(util / float64(cl.Devices))
+		first += cl.Devices
+	}
+	m.promotes.Set(float64(f.promotes))
+	m.demotes.Set(float64(f.demotes))
+	m.movesInFlight.Set(float64(f.promoStarted + f.demoStarted - f.promotes - f.demotes))
+	m.copyBytes.Set(float64(f.xTierBytes))
+}

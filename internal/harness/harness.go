@@ -333,7 +333,7 @@ func buildPlatform(mix MixSpec, kind PolicyKind, slos []sim.Time, opt Options) *
 		if opt.WorkloadShape != workload.ShapeSteady {
 			// The shaped profile keeps its name and request mix, so SLO
 			// seeding and result collection still key by workload.
-			prof = workload.ApplyShape(prof, opt.WorkloadShape, opt.Seed*1000+int64(i), opt.ReplayRecords)
+			prof = workload.ApplyShape(prof, opt.WorkloadShape, shapeSeed(opt.Seed, i), opt.ReplayRecords)
 		}
 		cfg := vssd.Config{
 			Name:             fmt.Sprintf("%s-%d", name, i),
@@ -361,6 +361,16 @@ func buildPlatform(mix MixSpec, kind PolicyKind, slos []sim.Time, opt Options) *
 		r.recs = append(r.recs, rec)
 	}
 	return r
+}
+
+// shapeSeed derives tenant i's trace-synthesis seed from the experiment
+// seed through the sim.RNG.Stream split (a SplitMix64-style scramble of
+// (seed, stream id), the same collision-free derivation the fleet uses
+// for its shard and tenant streams). The old linear form
+// opt.Seed*1000+int64(i) collided across experiments: seed S tenant 1000
+// and seed S+1 tenant 0 synthesized identical traces.
+func shapeSeed(seed int64, i int) int64 {
+	return sim.NewRNG(seed).Stream(int64(i)).Int63()
 }
 
 func chanRange(lo, hi int) []int {

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fleet"
+)
+
+// DefaultTierDevices sizes FigureTiers' hybrid rack when
+// Options.FleetDevices is zero: small enough that the learned policy's
+// per-shard agent stacks keep the figure fast, large enough for both
+// tiers to hold several tenants.
+const DefaultTierDevices = 8
+
+// tierConfig maps harness Options onto a hybrid (tiered) rack: a fast
+// SLC-like class on a quarter of the devices, a dense QLC-like class on
+// the rest, cohort churn so slots keep freeing (tier moves need
+// somewhere to go on an oversubscribed rack), and no load-balancing
+// migration — promotes and demotes are the only movers, so the policies
+// differ in nothing else.
+func tierConfig(tp fleet.TierPolicyKind, opt Options) fleet.Config {
+	devices := opt.FleetDevices
+	if devices <= 0 {
+		devices = DefaultTierDevices
+	}
+	fast := devices / 4
+	if fast < 1 {
+		fast = 1
+	}
+	cfg := fleet.Config{
+		Seed:       opt.Seed,
+		Window:     opt.Window,
+		Duration:   opt.Duration,
+		Classes:    fleet.DefaultTierClasses(fast, devices-fast),
+		TierPolicy: tp,
+		// Churn: mean session of half the run, and oversubscription of 2×
+		// rack capacity, so departures keep freeing slots for tier moves.
+		Lifetime: opt.Duration / 2,
+		Tenants:  devices*2*2 + 1,
+		// Tier moves start cold so the copy is cheap and the destination
+		// warms from real traffic.
+		PrefillFrac: -1,
+		Workers:     opt.Workers,
+		Pin:         opt.PinFleetWorkers,
+	}
+	if opt.FleetWorkers > 0 {
+		cfg.Workers = opt.FleetWorkers
+	}
+	if opt.Obs != nil {
+		cfg.Obs = opt.Obs.Registry()
+	}
+	return cfg
+}
+
+// TierScenario runs one hybrid rack under the given tier policy and
+// returns the fleet roll-up. The run is byte-identical at any
+// Options.Workers setting.
+func TierScenario(tp fleet.TierPolicyKind, opt Options) fleet.Stats {
+	return fleet.New(tierConfig(tp, opt)).Run()
+}
+
+// FigureTiers renders the hybrid-rack scenario: the same arrival
+// sequence on the same SLC-like/QLC-like rack under each tier policy —
+// static-pin, adaptive watermark, and the learned placement head — with
+// the latency-class tail summary as the comparison axis (tail latency at
+// matched capacity). Output is deterministic for a given seed at any
+// worker count.
+func FigureTiers(w io.Writer, opt Options) {
+	devices := opt.FleetDevices
+	if devices <= 0 {
+		devices = DefaultTierDevices
+	}
+	fmt.Fprintf(w, "== Tiers: %d-device hybrid rack (SLC-like/QLC-like), promote/demote policies (seed=%d) ==\n",
+		devices, opt.Seed)
+	type row struct {
+		tp   fleet.TierPolicyKind
+		mean float64
+	}
+	var rows []row
+	for _, tp := range fleet.TierPolicies() {
+		st := TierScenario(tp, opt)
+		fmt.Fprintf(w, "tier-policy=%s\n", tp)
+		st.Render(w)
+		rows = append(rows, row{tp, st.LsMeanP99Ms})
+	}
+	fmt.Fprintf(w, "summary: ls meanP99")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %s=%.2fms", r.tp, r.mean)
+	}
+	fmt.Fprintf(w, "\n")
+}

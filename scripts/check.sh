@@ -9,7 +9,9 @@
 # grep gates, a fault-enabled determinism gate (same seed => byte-identical
 # scenario output at any worker count), a rack-scale fleet gate (64-device
 # scenario byte-identical at any worker count, with at least one completed
-# migration), a workload-replay gate (the checked-in CSV trace converts
+# migration), a hybrid-rack tier gate (the tiered scenario byte-identical
+# at any worker count, with the learned policy completing both promotes
+# and demotes), a workload-replay gate (the checked-in CSV trace converts
 # and replays byte-identically at 1/2/4 workers, with live traffic
 # typing), and a one-iteration benchmark smoke pass that fails on any
 # steady-state device allocation. The RL-kernel gates prove the batched
@@ -77,7 +79,7 @@ if grep -n 'interface{}' internal/flash/*.go internal/sim/*.go internal/ftl/*.go
 fi
 
 echo "== go test -race (concurrency-heavy packages)"
-go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/... ./internal/obs/... ./internal/sim/... ./internal/flash/... ./internal/ftl/... ./internal/fault/... ./internal/fleet/... ./internal/trace/... ./internal/workload/... ./internal/nn/... ./internal/rl/...
+go test -race ./internal/trainer/... ./internal/gsb/... ./internal/admission/... ./internal/obs/... ./internal/sim/... ./internal/flash/... ./internal/ftl/... ./internal/fault/... ./internal/fleet/... ./internal/core/... ./internal/trace/... ./internal/workload/... ./internal/nn/... ./internal/rl/...
 
 echo "== go test -race -tags=flashdebug (op pool poison mode)"
 # flashdebug poisons every recycled Op on release so a use-after-release
@@ -132,6 +134,28 @@ if ! grep -q 'migrations: started=[1-9][0-9]* completed=[1-9]' "$fleet1"; then
     exit 1
 fi
 
+echo "== tier determinism + learned promote/demote smoke (hybrid rack)"
+# The hybrid-rack scenario (SLC-like + QLC-like device classes) reuses
+# the epoch-barrier runtime, so it must be byte-identical at any worker
+# count across every tier policy; and the learned placement head must
+# actually move tenants both ways — at the default seed over 4 virtual
+# seconds its section must report nonzero promotes AND demotes.
+tiers1=$(mktemp) && tiers4=$(mktemp)
+trap 'rm -f "$faults1" "$faults4" "$fleet1" "$fleet4" "$tiers1" "$tiers4"' EXIT
+go run ./cmd/fleetbench -fig tiers -fleet 8 -seconds 4 -parallel 1 > "$tiers1"
+go run ./cmd/fleetbench -fig tiers -fleet 8 -seconds 4 -parallel 4 > "$tiers4"
+if ! cmp -s "$tiers1" "$tiers4"; then
+    echo "tier scenario output differs between -parallel 1 and -parallel 4:" >&2
+    diff "$tiers1" "$tiers4" >&2 || true
+    exit 1
+fi
+learned=$(awk '/^tier-policy=learned/,0' "$tiers1")
+if ! echo "$learned" | grep -q 'promotes=[1-9]' || ! echo "$learned" | grep -q ' demotes=[1-9]'; then
+    echo "learned tier policy completed no promotes or no demotes:" >&2
+    echo "$learned" >&2
+    exit 1
+fi
+
 echo "== fleet-scaling gate (epoch-loop allocs, workers 1 vs 4 identity)"
 # The persistent shard-worker runtime must keep the epoch loop — barrier,
 # parallel shard advance + load refresh, sequential control plane —
@@ -148,7 +172,7 @@ echo "== workload-replay determinism (CSV trace, 1 vs 2 vs 4 workers)"
 # replay byte-identically at any worker count, and the cohort rack must
 # classify live traffic (a non-empty types: line).
 wlbin=$(mktemp) && wl1=$(mktemp) && wl2=$(mktemp) && wl4=$(mktemp)
-trap 'rm -f "$faults1" "$faults4" "$fleet1" "$fleet4" "$wlbin" "$wl1" "$wl2" "$wl4"' EXIT
+trap 'rm -f "$faults1" "$faults4" "$fleet1" "$fleet4" "$tiers1" "$tiers4" "$wlbin" "$wl1" "$wl2" "$wl4"' EXIT
 go run ./cmd/fleettrace convert -in internal/trace/testdata/sample_msr.csv -format msr -out "$wlbin"
 go run ./cmd/fleetbench -fig workloads -trace "$wlbin" -seconds 2 -warmup 1 -parallel 1 > "$wl1"
 go run ./cmd/fleetbench -fig workloads -trace "$wlbin" -seconds 2 -warmup 1 -parallel 2 > "$wl2"
@@ -172,7 +196,7 @@ echo "== RL-kernel bit-identity (batched vs -scalar-rl, 1/2/4 workers)"
 # every worker count proves kernel-identity and parallel-invariance at
 # once.
 rlb1=$(mktemp) && rlb2=$(mktemp) && rlb4=$(mktemp) && rls1=$(mktemp) && rls2=$(mktemp) && rls4=$(mktemp)
-trap 'rm -f "$faults1" "$faults4" "$fleet1" "$fleet4" "$wlbin" "$wl1" "$wl2" "$wl4" "$rlb1" "$rlb2" "$rlb4" "$rls1" "$rls2" "$rls4"' EXIT
+trap 'rm -f "$faults1" "$faults4" "$fleet1" "$fleet4" "$tiers1" "$tiers4" "$wlbin" "$wl1" "$wl2" "$wl4" "$rlb1" "$rlb2" "$rlb4" "$rls1" "$rls2" "$rls4"' EXIT
 go run ./cmd/fleetbench -fig 10 -seconds 2 -warmup 1 -parallel 1 > "$rlb1"
 go run ./cmd/fleetbench -fig 10 -seconds 2 -warmup 1 -parallel 2 > "$rlb2"
 go run ./cmd/fleetbench -fig 10 -seconds 2 -warmup 1 -parallel 4 > "$rlb4"
